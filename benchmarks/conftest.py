@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def print_result(title, text):
+    """Print a regenerated table/figure under its own banner (visible
+    with ``pytest benchmarks/ --benchmark-only -s``)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,104 @@
+"""Throughput benchmarks of the substrate itself.
+
+Not paper results -- these track the toolkit's own performance: ISA
+simulation rate, assembler speed, gate-level simulation rate, netlist
+construction and STA.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asm import Assembler, assemble
+from repro.isa import get_isa
+from repro.kernels.kernel import Target
+from repro.kernels.suite import get_kernel
+from repro.sim import Simulator, run_program
+
+
+class TestIsaSimulation:
+    def test_simulator_throughput(self, benchmark):
+        """Instructions per second of the functional simulator."""
+        isa = get_isa("flexicore4")
+        program = assemble(
+            "loop: load 0\naddi 1\nstore 2\nxor 2\nstore 1\n"
+            "nandi 0\nbrn loop\n",
+            isa,
+        )
+
+        def run_10k():
+            simulator = Simulator(isa, program,
+                                  input_fn=lambda: 5)
+            return simulator.run(max_cycles=10_000).instructions
+
+        instructions = benchmark(run_10k)
+        assert instructions == 10_000
+
+    def test_xorshift_full_period(self, benchmark):
+        """One full 255-byte PRNG period on the base ISA (incl. MMU)."""
+        target = Target.named("flexicore4")
+        kernel = get_kernel("xorshift8")
+        program = kernel.program(target)
+
+        def full_period():
+            result, outputs = kernel.run(target, [0] * 255)
+            return outputs
+
+        outputs = benchmark.pedantic(full_period, rounds=1, iterations=1)
+        assert len(outputs) == 510
+
+
+class TestAssembler:
+    def test_assemble_calculator(self, benchmark):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("calculator")
+        source = kernel.source(target)
+        assembler = Assembler(target.isa, target.library)
+        program = benchmark(assembler.assemble, source)
+        assert program.static_instructions > 100
+
+
+class TestGateLevel:
+    def test_netlist_construction(self, benchmark):
+        from repro.netlist.cores import build_flexicore4
+
+        netlist = benchmark(build_flexicore4)
+        assert netlist.gate_count > 200
+
+    def test_gate_simulation_rate(self, benchmark):
+        from repro.netlist.cores import build_flexicore4
+        from repro.netlist.sim import GateLevelSimulator
+
+        netlist = build_flexicore4()
+
+        def run_200_cycles():
+            sim = GateLevelSimulator(netlist)
+            sim.set_inputs({"instr": 0x43, "iport": 5})  # addi 3
+            for _ in range(200):
+                sim.step()
+            return sim.cycles
+
+        assert benchmark(run_200_cycles) == 200
+
+    def test_static_timing_analysis(self, benchmark):
+        from repro.netlist.cores import build_flexicore8
+        from repro.netlist.sta import analyze
+
+        netlist = build_flexicore8()
+        report = benchmark(analyze, netlist)
+        assert report.critical_delay_units > 10
+
+
+class TestFabrication:
+    def test_wafer_fabrication_and_probe(self, benchmark):
+        from repro.fab import FC4_WAFER, fabricate_wafer
+        from repro.netlist.cores import build_flexicore4
+
+        netlist = build_flexicore4()
+
+        def one_wafer():
+            rng = np.random.default_rng(0)
+            wafer = fabricate_wafer(netlist, FC4_WAFER, rng)
+            return wafer.probe(4.5, rng)
+
+        probe = benchmark(one_wafer)
+        assert len(probe.records) > 100

@@ -1,0 +1,4 @@
+"""Setup shim: enables legacy editable installs on hosts without `wheel`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro -- a reproduction of *FlexiCores: Low Footprint, High Yield,
+Field Reprogrammable Flexible Microprocessors* (ISCA 2022).
+
+The package is organized bottom-up:
+
+- :mod:`repro.isa`      -- the FlexiCore instruction sets (Sections 3, 6).
+- :mod:`repro.asm`      -- macro assembler and disassembler (Section 5.1).
+- :mod:`repro.sim`      -- functional simulator, MMU, IO and timing models.
+- :mod:`repro.kernels`  -- the Table 6 benchmark suite.
+- :mod:`repro.tech`     -- 0.8 um IGZO device and standard-cell models.
+- :mod:`repro.netlist`  -- gate-level cores, simulation, STA, area/power.
+- :mod:`repro.fab`      -- wafer fabrication, yield and variation models.
+- :mod:`repro.dse`      -- the Section 6 design-space exploration.
+- :mod:`repro.experiments` -- one entry point per paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.isa import get_isa  # noqa: F401  (primary entry point)

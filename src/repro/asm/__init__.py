@@ -1,0 +1,39 @@
+"""Macro assembler and disassembler for the FlexiCore ISAs."""
+
+from repro.asm.assembler import (
+    MAX_PAGES,
+    PAGE_SIZE,
+    AssembledInstruction,
+    Assembler,
+    Program,
+    assemble,
+)
+from repro.asm.disassembler import disassemble, format_listing, roundtrip_ok
+from repro.asm.errors import (
+    AsmError,
+    LayoutError,
+    MacroError,
+    ParseError,
+    SymbolError,
+)
+from repro.asm.macro import ExpansionContext, MacroLibrary, expand
+
+__all__ = [
+    "AsmError",
+    "AssembledInstruction",
+    "Assembler",
+    "ExpansionContext",
+    "LayoutError",
+    "MAX_PAGES",
+    "MacroError",
+    "MacroLibrary",
+    "PAGE_SIZE",
+    "ParseError",
+    "Program",
+    "SymbolError",
+    "assemble",
+    "disassemble",
+    "expand",
+    "format_listing",
+    "roundtrip_ok",
+]

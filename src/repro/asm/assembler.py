@@ -1,0 +1,344 @@
+"""Two-pass macro assembler for the FlexiCore ISAs.
+
+Mirrors the paper's "custom assembler written in Python" (Section 5.1),
+with one addition: programs larger than the 128-byte page a 7-bit PC can
+address are split across pages with the ``.page`` directive, and page
+changes at run time go through the off-chip MMU escape sequence
+(``%farjump`` in the kernel macro libraries).
+
+Usage::
+
+    from repro.asm import Assembler
+    from repro.isa import get_isa
+
+    program = Assembler(get_isa("flexicore4")).assemble(source_text)
+    image = program.image()          # bytes for the program memory
+    program.static_instructions      # Table 6 metric
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.errors import LayoutError, ParseError, SymbolError
+from repro.asm.macro import ExpansionContext, expand
+from repro.asm.parser import (
+    parse_integer,
+    parse_mask,
+    parse_register,
+    parse_source,
+)
+from repro.isa.model import OperandKind
+
+#: Bytes addressable by the 7-bit program counter.
+PAGE_SIZE = 128
+#: Pages supported by the 4-bit MMU page register (Section 5.1).
+MAX_PAGES = 16
+
+
+@dataclass(frozen=True)
+class AssembledInstruction:
+    """One instruction placed in the program image (the listing entry)."""
+
+    page: int
+    offset: int
+    mnemonic: str
+    operands: Tuple[int, ...]
+    encoding: bytes
+    location: object
+
+    @property
+    def address(self):
+        return self.page * PAGE_SIZE + self.offset
+
+
+@dataclass
+class Program:
+    """An assembled program: the image plus its symbol table and listing."""
+
+    isa: object
+    pages: Dict[int, bytes]
+    labels: Dict[str, Tuple[int, int]]
+    constants: Dict[str, int]
+    listing: List[AssembledInstruction]
+    source_name: str = "<source>"
+
+    @property
+    def static_instructions(self):
+        """Static instruction count -- the Table 6 metric."""
+        return len(self.listing)
+
+    @property
+    def size_bytes(self):
+        """Bytes of program memory actually occupied by instructions."""
+        return sum(len(entry.encoding) for entry in self.listing)
+
+    @property
+    def size_bits(self):
+        """Code size in bits, the unit of the Figure 12 comparison."""
+        return self.size_bytes * 8
+
+    @property
+    def page_numbers(self):
+        return sorted(self.pages)
+
+    def image(self):
+        """Flat program-memory image covering all used pages.
+
+        The image length is ``(max_page + 1) * PAGE_SIZE``; gaps are
+        zero-filled (an all-zeros byte decodes as an ALU no-op-ish
+        instruction on every FlexiCore ISA, matching uninitialized ROM).
+        """
+        if not self.pages:
+            return bytes(PAGE_SIZE)
+        top = max(self.pages)
+        image = bytearray((top + 1) * PAGE_SIZE)
+        for page, blob in self.pages.items():
+            image[page * PAGE_SIZE:page * PAGE_SIZE + len(blob)] = blob
+        return bytes(image)
+
+    def label_address(self, name):
+        """Flat program address of a label."""
+        try:
+            page, offset = self.labels[name]
+        except KeyError:
+            raise SymbolError(f"no such label: '{name}'") from None
+        return page * PAGE_SIZE + offset
+
+    def mnemonic_histogram(self):
+        histogram = {}
+        for entry in self.listing:
+            histogram[entry.mnemonic] = histogram.get(entry.mnemonic, 0) + 1
+        return histogram
+
+    def text(self):
+        """Render the listing as address-annotated assembly."""
+        lines = []
+        for entry in self.listing:
+            raw = " ".join(f"{byte:02x}" for byte in entry.encoding)
+            operand_text = ", ".join(str(op) for op in entry.operands)
+            lines.append(
+                f"{entry.page}:{entry.offset:3d}  {raw:<6}"
+                f"  {entry.mnemonic} {operand_text}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _PendingInstruction:
+    page: int
+    offset: int
+    statement: object
+    spec: object
+
+
+class Assembler:
+    """Two-pass assembler targeting one ISA (optionally with macros)."""
+
+    def __init__(self, isa, macro_library=None):
+        self.isa = isa
+        self.macro_library = macro_library
+
+    def assemble(self, source, source_name="<source>"):
+        statements = parse_source(source, source_name)
+        ctx = ExpansionContext(self.isa)
+        statements = expand(statements, self.macro_library, ctx)
+
+        # -- pass 1: layout -------------------------------------------------
+        labels: Dict[str, Tuple[int, int]] = {}
+        constants: Dict[str, int] = {}
+        pending: List[_PendingInstruction] = []
+        page_cursors: Dict[int, int] = {}
+        current_page = 0
+
+        for statement in statements:
+            if statement.label is not None:
+                if statement.label in labels or statement.label in constants:
+                    raise SymbolError(
+                        f"duplicate symbol '{statement.label}'",
+                        statement.location,
+                    )
+                labels[statement.label] = (
+                    current_page, page_cursors.get(current_page, 0)
+                )
+            elif statement.is_directive:
+                current_page = self._run_directive(
+                    statement, constants, current_page
+                )
+            elif statement.is_instruction:
+                spec = self._spec_for(statement)
+                offset = page_cursors.get(current_page, 0)
+                if offset + spec.size > PAGE_SIZE:
+                    raise LayoutError(
+                        f"page {current_page} overflows {PAGE_SIZE} bytes; "
+                        f"split the program with .page and %farjump",
+                        statement.location,
+                    )
+                pending.append(_PendingInstruction(
+                    page=current_page, offset=offset,
+                    statement=statement, spec=spec,
+                ))
+                page_cursors[current_page] = offset + spec.size
+
+        # -- pass 2: resolve and encode --------------------------------------
+        page_images = {
+            page: bytearray(cursor) for page, cursor in page_cursors.items()
+        }
+        listing = []
+        for item in pending:
+            operands = self._resolve_operands(item, labels, constants)
+            encoding = item.spec.encode(operands)
+            page_images[item.page][
+                item.offset:item.offset + len(encoding)
+            ] = encoding
+            listing.append(AssembledInstruction(
+                page=item.page, offset=item.offset,
+                mnemonic=item.spec.mnemonic, operands=operands,
+                encoding=encoding, location=item.statement.location,
+            ))
+
+        return Program(
+            isa=self.isa,
+            pages={page: bytes(blob) for page, blob in page_images.items()},
+            labels=labels,
+            constants=constants,
+            listing=listing,
+            source_name=source_name,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _spec_for(self, statement):
+        from repro.isa.errors import EncodeError
+
+        try:
+            return self.isa.spec(statement.mnemonic)
+        except EncodeError as exc:
+            raise ParseError(str(exc), statement.location) from exc
+
+    def _run_directive(self, statement, constants, current_page):
+        name = statement.directive
+        args = statement.directive_args
+        if name == ".equ":
+            if len(args) == 1:
+                # Accept both ".equ NAME, VALUE" and ".equ NAME VALUE".
+                args = tuple(args[0].split())
+            if len(args) != 2:
+                raise ParseError(
+                    ".equ expects NAME, VALUE", statement.location
+                )
+            symbol, value_text = args
+            value = parse_integer(value_text)
+            if value is None:
+                value = constants.get(value_text)
+            if value is None:
+                raise ParseError(
+                    f".equ value '{value_text}' is not a constant",
+                    statement.location,
+                )
+            if symbol in constants:
+                raise SymbolError(
+                    f"duplicate symbol '{symbol}'", statement.location
+                )
+            constants[symbol] = value
+            return current_page
+        if name == ".page":
+            if len(args) != 1:
+                raise ParseError(".page expects a page number",
+                                 statement.location)
+            page = parse_integer(args[0])
+            if page is None or not 0 <= page < MAX_PAGES:
+                raise LayoutError(
+                    f"page number must be 0..{MAX_PAGES - 1}, "
+                    f"got {args[0]}",
+                    statement.location,
+                )
+            return page
+        raise ParseError(f"unknown directive '{name}'", statement.location)
+
+    def _resolve_operands(self, item, labels, constants):
+        statement = item.statement
+        specs = item.spec.operands
+        tokens = statement.operands
+        if len(tokens) != len(specs):
+            raise ParseError(
+                f"{item.spec.mnemonic}: expected {len(specs)} operands, "
+                f"got {len(tokens)}",
+                statement.location,
+            )
+        resolved = []
+        for operand_spec, token in zip(specs, tokens):
+            resolved.append(self._resolve_one(
+                item, operand_spec, token, labels, constants
+            ))
+        return tuple(resolved)
+
+    def _resolve_one(self, item, operand_spec, token, labels, constants):
+        statement = item.statement
+        kind = operand_spec.kind
+        if kind == OperandKind.TARGET:
+            if token.startswith("@"):
+                # '@label' waives the same-page check: the page-local
+                # offset is taken as-is.  Used by %farjump, whose branch
+                # executes in the MMU page-switch delay shadow and lands
+                # in the *new* page.
+                name = token[1:]
+                if name not in labels:
+                    raise SymbolError(
+                        f"undefined far target '{name}'", statement.location
+                    )
+                return labels[name][1]
+            value = parse_integer(token)
+            if value is not None:
+                return value
+            if token in labels:
+                page, offset = labels[token]
+                if page != item.page:
+                    raise LayoutError(
+                        f"branch target '{token}' is in page {page} but the "
+                        f"branch is in page {item.page}; 7-bit targets are "
+                        f"page-local -- use %farjump",
+                        statement.location,
+                    )
+                return offset
+            raise SymbolError(
+                f"undefined branch target '{token}'", statement.location
+            )
+        if kind == OperandKind.MASK:
+            value = parse_mask(token)
+            if value is None:
+                value = parse_integer(token)
+            if value is None:
+                raise ParseError(
+                    f"bad condition mask '{token}'", statement.location
+                )
+            return value
+        if kind == OperandKind.REG:
+            value = parse_register(token)
+            if value is None:
+                value = parse_integer(token)
+            if value is None:
+                value = constants.get(token)
+            if value is None:
+                raise SymbolError(
+                    f"undefined register/constant '{token}'",
+                    statement.location,
+                )
+            return value
+        # IMM / MEMADDR / SHAMT: literal or constant.
+        value = parse_integer(token)
+        if value is None:
+            value = constants.get(token)
+        if value is None and token in labels:
+            # Allow labels as immediates (e.g. loading a page number).
+            page, offset = labels[token]
+            value = offset
+        if value is None:
+            raise SymbolError(
+                f"undefined symbol '{token}'", statement.location
+            )
+        return value
+
+
+def assemble(source, isa, macro_library=None, source_name="<source>"):
+    """Convenience one-shot wrapper around :class:`Assembler`."""
+    return Assembler(isa, macro_library).assemble(source, source_name)

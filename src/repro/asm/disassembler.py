@@ -1,0 +1,69 @@
+"""Linear-sweep disassembler for FlexiCore program images."""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.errors import DecodeError
+
+
+@dataclass(frozen=True)
+class DisassembledLine:
+    address: int
+    raw: bytes
+    text: str
+    mnemonic: Optional[str]  # None for undecodable bytes
+
+    def __str__(self):
+        raw_text = " ".join(f"{byte:02x}" for byte in self.raw)
+        return f"{self.address:4d}  {raw_text:<6}  {self.text}"
+
+
+def disassemble(image, isa, start=0, end=None):
+    """Decode ``image[start:end]`` as a linear instruction stream.
+
+    Undecodable bytes become ``.byte`` lines rather than raising, so padding
+    and the data bytes of multi-byte instructions at odd boundaries do not
+    abort the sweep.
+    """
+    if end is None:
+        end = len(image)
+    lines: List[DisassembledLine] = []
+    offset = start
+    while offset < end:
+        try:
+            decoded = isa.decode(image, offset)
+        except DecodeError:
+            raw = bytes(image[offset:offset + 1])
+            lines.append(DisassembledLine(
+                address=offset, raw=raw,
+                text=f".byte {raw[0]:#04x}", mnemonic=None,
+            ))
+            offset += 1
+            continue
+        lines.append(DisassembledLine(
+            address=offset, raw=decoded.raw,
+            text=decoded.text(), mnemonic=decoded.mnemonic,
+        ))
+        offset += decoded.size
+    return lines
+
+
+def format_listing(lines):
+    return "\n".join(str(line) for line in lines)
+
+
+def roundtrip_ok(program):
+    """True when decode(encode(x)) re-encodes to the same bytes.
+
+    Used by tests as an encode/decode consistency check across every ISA.
+    (Operands are compared via re-encoding because negative immediates
+    decode as their unsigned field values.)
+    """
+    image = program.image()
+    for entry in program.listing:
+        decoded = program.isa.decode(image, entry.address)
+        if decoded.mnemonic != entry.mnemonic:
+            return False
+        if decoded.spec.encode(decoded.operands) != entry.encoding:
+            return False
+    return True

@@ -1,0 +1,27 @@
+"""Assembler diagnostics, carrying source locations through macro expansion."""
+
+
+class AsmError(Exception):
+    """Base class for assembler errors."""
+
+    def __init__(self, message, location=None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class ParseError(AsmError):
+    """A source line could not be parsed."""
+
+
+class SymbolError(AsmError):
+    """Undefined or redefined label / constant."""
+
+
+class LayoutError(AsmError):
+    """Program layout violation (page overflow, cross-page branch, ...)."""
+
+
+class MacroError(AsmError):
+    """A macro invocation failed to expand."""

@@ -1,0 +1,147 @@
+"""Macro system for FlexiCore assembly.
+
+The paper observes that benchmark programs reuse "code macros and other
+small subroutine-like code sequences" (Section 6.1) -- a logical right
+shift is 36 instructions on the base ISA (Listing 1) and a single ``lsri``
+with the barrel-shifter extension.  We make that observation executable:
+kernels are written against macro names (``%rshift``, ``%jump``,
+``%br_zero`` ...), and each ISA variant supplies a :class:`MacroLibrary`
+that expands those names into whatever instruction sequence the available
+hardware supports.  Assembling one kernel source under different macro
+libraries is how the Figure 9/10 code-size sweeps are produced.
+
+Macros are Python callables ``fn(ctx, *args) -> list[str]`` registered on
+a library.  They may invoke other macros (expansion is recursive), and
+they allocate collision-free labels through :meth:`ExpansionContext.label`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.asm.errors import MacroError
+from repro.asm.parser import Location, Statement, parse_line
+
+#: Expansion depth limit; hitting it almost always means macro recursion.
+MAX_DEPTH = 32
+
+
+class ExpansionContext:
+    """Per-assembly state handed to macro bodies."""
+
+    def __init__(self, isa):
+        self.isa = isa
+        self._counter = 0
+        self._pool = {}          # subroutine name -> label (pending emit)
+        self._pool_bodies = []   # [(label, body_lines)] awaiting %emit_pool
+
+    def label(self, stem):
+        """Return a fresh label unique within this assembly run."""
+        self._counter += 1
+        return f"__{stem}_{self._counter}"
+
+    def request_subroutine(self, name, body_fn):
+        """Ask for a shared subroutine body, deduplicated by ``name``.
+
+        ``body_fn() -> list[str]`` supplies the body (without label or
+        ``ret``) on first request.  Returns the label to ``call``.  The
+        body is laid down at the next ``%emit_pool`` in program order, so
+        call sites share their page with the pool -- a requirement of the
+        page-local 7-bit return-address register.
+        """
+        if name in self._pool:
+            return self._pool[name]
+        label = self.label(f"sub_{name}")
+        self._pool[name] = label
+        self._pool_bodies.append((label, body_fn()))
+        return label
+
+    def flush_pool(self):
+        """Emit and clear pending subroutine bodies (for %emit_pool)."""
+        lines = []
+        for label, body in self._pool_bodies:
+            lines.append(f"{label}:")
+            lines.extend(body)
+            lines.append("ret")
+        self._pool.clear()
+        self._pool_bodies.clear()
+        return lines
+
+
+class MacroLibrary:
+    """A named collection of macros targeting one ISA variant."""
+
+    def __init__(self, name, parent=None):
+        self.name = name
+        self.parent = parent
+        self._macros: Dict[str, Callable] = {}
+
+    def define(self, name, fn=None):
+        """Register a macro; usable as a decorator.
+
+        >>> lib = MacroLibrary("demo")
+        >>> @lib.define("jump")
+        ... def jump(ctx, target):
+        ...     return [f"nandi 0", f"brn {target}"]
+        """
+        if fn is None:
+            def decorator(func):
+                self._macros[name] = func
+                return func
+            return decorator
+        self._macros[name] = fn
+        return fn
+
+    def lookup(self, name):
+        lib = self
+        while lib is not None:
+            if name in lib._macros:
+                return lib._macros[name]
+            lib = lib.parent
+        return None
+
+    def names(self):
+        found = set(self._macros)
+        if self.parent is not None:
+            found |= set(self.parent.names())
+        return sorted(found)
+
+    def __contains__(self, name):
+        return self.lookup(name) is not None
+
+
+def expand(statements, library, ctx, depth=0):
+    """Recursively expand macro invocations into plain statements."""
+    if depth > MAX_DEPTH:
+        raise MacroError("macro expansion too deep (recursive macro?)")
+    result: List[Statement] = []
+    for statement in statements:
+        if not statement.is_macro:
+            result.append(statement)
+            continue
+        fn = library.lookup(statement.macro) if library else None
+        if fn is None:
+            raise MacroError(
+                f"unknown macro '%{statement.macro}'"
+                + (f" in library '{library.name}'" if library else ""),
+                statement.location,
+            )
+        try:
+            lines = fn(ctx, *statement.macro_args)
+        except MacroError:
+            raise
+        except TypeError as exc:
+            raise MacroError(
+                f"%{statement.macro}: {exc}", statement.location
+            ) from exc
+        expanded = []
+        for index, line in enumerate(lines):
+            expanded.extend(parse_line(
+                line,
+                Location(
+                    f"{statement.location.source}"
+                    f"[%{statement.macro}@{statement.location.line}]",
+                    index + 1,
+                ),
+            ))
+        result.extend(expand(expanded, library, ctx, depth + 1))
+    return result

@@ -1,0 +1,167 @@
+"""Line-oriented parser for FlexiCore assembly.
+
+The grammar matches the paper's "highly readable assembly language"
+(Section 5.1), one statement per line:
+
+.. code-block:: none
+
+    ; comment until end of line
+    label:                      ; define a label (may share a line with code)
+    mnemonic op1, op2           ; instruction
+    %macro arg1, arg2           ; macro invocation
+    .equ NAME value             ; define an assemble-time constant
+    .page N                     ; continue assembly in 128-byte page N
+
+Operands are integers (decimal, ``0x`` hex, ``0b`` binary, negative),
+symbols (labels or ``.equ`` constants), registers ``r0``..``r7``, or nzp
+condition masks written as a subset of the letters ``n``, ``z``, ``p``.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.asm.errors import ParseError
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)$")
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a statement came from (macro expansions keep their call site)."""
+
+    source: str
+    line: int
+
+    def __str__(self):
+        return f"{self.source}:{self.line}"
+
+
+@dataclass
+class Statement:
+    """One parsed statement: a label definition, directive, instruction or
+    macro invocation (exactly one of the payload fields is set)."""
+
+    location: Location
+    label: Optional[str] = None
+    mnemonic: Optional[str] = None
+    operands: Tuple[str, ...] = ()
+    directive: Optional[str] = None
+    directive_args: Tuple[str, ...] = ()
+    macro: Optional[str] = None
+    macro_args: Tuple[str, ...] = ()
+
+    @property
+    def is_instruction(self):
+        return self.mnemonic is not None
+
+    @property
+    def is_macro(self):
+        return self.macro is not None
+
+    @property
+    def is_directive(self):
+        return self.directive is not None
+
+
+def strip_comment(line):
+    """Remove a ``;`` or ``#`` comment (FlexiCore asm has no string literals,
+    so no quoting rules are needed)."""
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def split_operands(text):
+    if not text:
+        return ()
+    return tuple(part.strip() for part in text.split(","))
+
+
+def parse_line(line, location):
+    """Parse one source line into zero or more :class:`Statement` objects.
+
+    A line may carry a label and an instruction (``loop: load 0``), which
+    yields two statements so downstream passes stay simple.
+    """
+    text = strip_comment(line)
+    if not text:
+        return []
+    statements = []
+    # Leading label(s).
+    while ":" in text:
+        head, _, rest = text.partition(":")
+        head = head.strip()
+        if not _LABEL_RE.match(head):
+            break
+        statements.append(Statement(location=location, label=head))
+        text = rest.strip()
+        if not text:
+            return statements
+    if text.startswith("."):
+        parts = text.split(None, 1)
+        name = parts[0]
+        args = split_operands(parts[1]) if len(parts) > 1 else ()
+        statements.append(Statement(
+            location=location, directive=name, directive_args=args,
+        ))
+        return statements
+    if text.startswith("%"):
+        parts = text[1:].split(None, 1)
+        if not parts or not _LABEL_RE.match(parts[0]):
+            raise ParseError(f"bad macro invocation: '{text}'", location)
+        args = split_operands(parts[1]) if len(parts) > 1 else ()
+        statements.append(Statement(
+            location=location, macro=parts[0], macro_args=args,
+        ))
+        return statements
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    if not _LABEL_RE.match(mnemonic):
+        raise ParseError(f"bad mnemonic: '{parts[0]}'", location)
+    operands = split_operands(parts[1]) if len(parts) > 1 else ()
+    statements.append(Statement(
+        location=location, mnemonic=mnemonic, operands=operands,
+    ))
+    return statements
+
+
+def parse_source(text, source_name="<source>"):
+    """Parse a whole program into a statement list."""
+    statements = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        statements.extend(
+            parse_line(line, Location(source_name, line_number))
+        )
+    return statements
+
+
+def parse_integer(token):
+    """Parse an integer literal; returns None if the token is not one."""
+    if not _INT_RE.match(token):
+        return None
+    return int(token, 0)
+
+
+def parse_mask(token):
+    """Parse an nzp condition-mask token like ``nz`` into its 3-bit value.
+
+    Returns None when the token is not a pure subset of {n, z, p}.
+    """
+    if not token or not set(token.lower()) <= set("nzp"):
+        return None
+    value = 0
+    for char in token.lower():
+        value |= {"n": 0b100, "z": 0b010, "p": 0b001}[char]
+    return value
+
+
+def parse_register(token):
+    """Parse ``rN`` register syntax; returns None otherwise."""
+    match = re.match(r"^[rR](\d+)$", token)
+    if match is None:
+        return None
+    return int(match.group(1))

@@ -1,0 +1,315 @@
+"""Command-line interface: ``flexicore`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+asm          assemble a FlexiCore assembly file and print the listing
+dis          disassemble a binary program image
+run          assemble + simulate a program with optional inputs
+kernels      run the Table 6 suite on a target and print statistics
+yield        run the wafer-yield Monte Carlo (Table 5)
+dse          run the Section 6 design-space exploration (Figures 11-13)
+experiments  print any paper table/figure ('all' for everything)
+report       write EXPERIMENTS.md
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_isa_argument(parser, default="flexicore4"):
+    parser.add_argument(
+        "--isa", default=default,
+        help="target ISA (flexicore4, flexicore8, flexicore4plus, "
+             "extacc, extacc[...features...], loadstore)",
+    )
+
+
+def _target(isa_name):
+    from repro.kernels.kernel import Target
+
+    return Target.named(isa_name)
+
+
+def cmd_asm(args):
+    target = _target(args.isa)
+    with open(args.source) as handle:
+        source = handle.read()
+    program = target.assemble(source, source_name=args.source)
+    print(program.text())
+    print(f"; {program.static_instructions} instructions, "
+          f"{program.size_bytes} bytes, "
+          f"{len(program.pages)} page(s)")
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(program.image())
+        print(f"; image written to {args.output}")
+    return 0
+
+
+def cmd_dis(args):
+    from repro.asm import disassemble, format_listing
+    from repro.isa import get_isa
+
+    isa = get_isa(args.isa)
+    with open(args.image, "rb") as handle:
+        image = handle.read()
+    print(format_listing(disassemble(image, isa)))
+    return 0
+
+
+def cmd_run(args):
+    from repro.sim import run_program
+
+    target = _target(args.isa)
+    with open(args.source) as handle:
+        program = target.assemble(handle.read(), source_name=args.source)
+    inputs = None
+    if args.inputs:
+        inputs = [int(token, 0) for token in args.inputs.split(",")]
+    result, sink = run_program(
+        program, inputs=inputs, max_cycles=args.max_cycles
+    )
+    print(f"executed {result.instructions} instructions "
+          f"({result.reason})")
+    print("outputs:", " ".join(f"{v:#x}" for v in sink.values))
+    return 0
+
+
+def cmd_kernels(args):
+    from repro.kernels.suite import SUITE
+
+    target = _target(args.isa)
+    rng = np.random.default_rng(args.seed)
+    print(f"Table 6 suite on {target.name}:")
+    print(f"{'kernel':<16} {'static':>7} {'bytes':>6} {'pages':>6} "
+          f"{'dynamic':>8} {'checked':>8}")
+    for kernel in SUITE:
+        inputs = kernel.generate_inputs(rng, args.transactions)
+        result = kernel.check(target, inputs)
+        program = kernel.program(target)
+        print(f"{kernel.name:<16} {program.static_instructions:7d} "
+              f"{program.size_bytes:6d} {len(program.pages):6d} "
+              f"{result.stats.instructions:8d} {'OK':>8}")
+    return 0
+
+
+def cmd_yield(args):
+    from repro.experiments.tables import format_table5
+
+    print(format_table5())
+    return 0
+
+
+def cmd_dse(args):
+    from repro.experiments.figures import (
+        format_figure11,
+        format_figure12,
+        format_figure13,
+    )
+
+    print(format_figure12())
+    print()
+    print(format_figure13())
+    print()
+    print(format_figure11())
+    return 0
+
+
+def cmd_floorplan(args):
+    from repro.netlist.cores import build_flexicore4, build_flexicore8
+    from repro.netlist.dse_cores import build_extended_core
+    from repro.netlist.floorplan import compare, render
+
+    builders = {
+        "flexicore4": build_flexicore4,
+        "flexicore8": build_flexicore8,
+        "flexicore4plus": lambda: build_extended_core(
+            frozenset({"shift", "flags"}), name="flexicore4plus"
+        ),
+    }
+    if args.core == "compare":
+        print(compare([build() for build in builders.values()]))
+        return 0
+    if args.core not in builders:
+        print(f"unknown core '{args.core}'; choose from "
+              f"{sorted(builders)} or 'compare'", file=sys.stderr)
+        return 2
+    print(render(builders[args.core]()))
+    return 0
+
+
+def cmd_pareto(args):
+    from repro.dse.explorer import explore, format_frontier
+
+    metrics = tuple(args.metrics.split(","))
+    bus = 8 if args.bus else None
+    frontier, points = explore(metrics=metrics, bus_bits=bus)
+    title = "Pareto frontier" + (" (8-bit program bus)" if args.bus
+                                 else "")
+    print(title)
+    print(format_frontier(frontier, points, metrics))
+    return 0
+
+
+def cmd_trace(args):
+    from repro.sim.trace import trace_program
+
+    target = _target(args.isa)
+    with open(args.source) as handle:
+        program = target.assemble(handle.read(), source_name=args.source)
+    inputs = None
+    if args.inputs:
+        inputs = [int(token, 0) for token in args.inputs.split(",")]
+    tracer, outputs = trace_program(
+        program, isa=target.isa, inputs=inputs,
+        max_cycles=args.max_cycles, limit=args.limit,
+    )
+    print(tracer.text(count=args.limit))
+    print("outputs:", " ".join(f"{v:#x}" for v in outputs))
+    return 0
+
+
+def cmd_isa(args):
+    from repro.isa.docs import isa_reference
+
+    from repro.isa import get_isa
+
+    print(isa_reference(get_isa(args.name)))
+    return 0
+
+
+def cmd_verilog(args):
+    from repro.netlist.export import to_verilog
+    from repro.netlist.cores import build_flexicore4, build_flexicore8
+
+    builders = {"flexicore4": build_flexicore4,
+                "flexicore8": build_flexicore8}
+    if args.core not in builders:
+        print(f"unknown core '{args.core}'; choose from "
+              f"{sorted(builders)}", file=sys.stderr)
+        return 2
+    text = to_verilog(builders[args.core](),
+                      include_models=args.models)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_experiments(args):
+    from repro.experiments.report import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment '{name}'; choose from: "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'",
+                  file=sys.stderr)
+            return 2
+        print(ALL_EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+def cmd_report(args):
+    from repro.experiments.report import generate
+
+    generate(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="flexicore",
+        description="FlexiCores (ISCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble a source file")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", help="write the binary image here")
+    _add_isa_argument(p)
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("dis", help="disassemble a binary image")
+    p.add_argument("image")
+    _add_isa_argument(p)
+    p.set_defaults(fn=cmd_dis)
+
+    p = sub.add_parser("run", help="assemble and simulate a program")
+    p.add_argument("source")
+    p.add_argument("--inputs", help="comma-separated IPORT samples")
+    p.add_argument("--max-cycles", type=int, default=100_000)
+    _add_isa_argument(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("kernels", help="run the benchmark suite")
+    p.add_argument("--transactions", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2022)
+    _add_isa_argument(p)
+    p.set_defaults(fn=cmd_kernels)
+
+    p = sub.add_parser("yield", help="wafer-yield Monte Carlo (Table 5)")
+    p.set_defaults(fn=cmd_yield)
+
+    p = sub.add_parser("dse", help="design-space exploration summary")
+    p.set_defaults(fn=cmd_dse)
+
+    p = sub.add_parser("isa", help="print an ISA reference table")
+    p.add_argument("name", help="e.g. flexicore4, extacc, loadstore")
+    p.set_defaults(fn=cmd_isa)
+
+    p = sub.add_parser("verilog",
+                       help="export a core as structural Verilog")
+    p.add_argument("core", help="flexicore4 or flexicore8")
+    p.add_argument("-o", "--output")
+    p.add_argument("--models", action="store_true",
+                   help="prepend behavioral cell models")
+    p.set_defaults(fn=cmd_verilog)
+
+    p = sub.add_parser("floorplan",
+                       help="ASCII module floorplan of a core (Fig. 4)")
+    p.add_argument("core",
+                   help="flexicore4, flexicore8, flexicore4plus, "
+                        "or 'compare'")
+    p.set_defaults(fn=cmd_floorplan)
+
+    p = sub.add_parser("pareto", help="Pareto frontier over the designs")
+    p.add_argument("--metrics", default="area,energy",
+                   help="comma list from: area, energy, latency, code")
+    p.add_argument("--bus", action="store_true",
+                   help="restrict the program bus to 8 bits")
+    p.set_defaults(fn=cmd_pareto)
+
+    p = sub.add_parser("trace", help="trace a program's execution")
+    p.add_argument("source")
+    p.add_argument("--inputs", help="comma-separated IPORT samples")
+    p.add_argument("--max-cycles", type=int, default=200)
+    p.add_argument("--limit", type=int, default=100)
+    _add_isa_argument(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("experiments", help="print a paper table/figure")
+    p.add_argument("name", help="e.g. table5, figure8, or 'all'")
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Design-space exploration of Section 6."""
+
+from repro.dse.designs import (
+    ACC_MC,
+    ACC_P,
+    ACC_SC,
+    ALL_DESIGNS,
+    BASELINE,
+    DSE_DESIGNS,
+    LS_MC,
+    LS_P,
+    LS_SC,
+    DesignPoint,
+)
+from repro.dse.evaluate import (
+    DesignMetrics,
+    KernelMetrics,
+    evaluate_all,
+    evaluate_design,
+    period_units,
+)
+from repro.dse.features import (
+    FEATURE_LABELS,
+    FeatureReport,
+    feature_sweep,
+    revised_isa_report,
+)
+
+__all__ = [
+    "ACC_MC", "ACC_P", "ACC_SC", "ALL_DESIGNS", "BASELINE",
+    "DSE_DESIGNS", "DesignMetrics", "DesignPoint", "FEATURE_LABELS",
+    "FeatureReport", "KernelMetrics", "LS_MC", "LS_P", "LS_SC",
+    "evaluate_all", "evaluate_design", "feature_sweep", "period_units",
+    "revised_isa_report",
+]

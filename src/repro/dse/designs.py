@@ -1,0 +1,75 @@
+"""The Section 6 design points.
+
+Seven cores anchor the exploration: the fabricated FlexiCore4 baseline,
+plus the revised operation set in accumulator and load-store flavors,
+each as a single-cycle (SC), two-stage pipelined (P) or multicycle (MC)
+machine -- the six colored bars of Figure 11 and the six points of
+Figure 12.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.isa.extended import FULL_FEATURES
+from repro.sim.timing import MicroArch
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One core design in the exploration."""
+
+    name: str
+    operand_model: str          # 'acc' | 'ls'
+    microarch: MicroArch
+    features: FrozenSet[str]    # DSE hardware features ('' for base)
+    isa_name: str               # ISA the kernels assemble against
+
+    @property
+    def is_baseline(self):
+        return self.name == "FlexiCore4"
+
+    def build_netlist(self):
+        """Gate-level netlist for this design (uncached)."""
+        from repro.netlist.cores import build_flexicore4
+        from repro.netlist.dse_cores import (
+            build_extended_core,
+            build_loadstore_core,
+        )
+
+        if self.is_baseline:
+            return build_flexicore4()
+        if self.operand_model == "acc":
+            return build_extended_core(
+                self.features, self.microarch.value
+            )
+        return build_loadstore_core(self.microarch.value)
+
+
+#: The revised accumulator feature set maps straight onto Section 6.1's
+#: final operation list.
+_ACC_FEATURES = frozenset(FULL_FEATURES)
+
+BASELINE = DesignPoint(
+    name="FlexiCore4",
+    operand_model="acc",
+    microarch=MicroArch.SINGLE_CYCLE,
+    features=frozenset(),
+    isa_name="flexicore4",
+)
+
+ACC_SC = DesignPoint("Acc SC", "acc", MicroArch.SINGLE_CYCLE,
+                     _ACC_FEATURES, "extacc")
+ACC_P = DesignPoint("Acc P", "acc", MicroArch.PIPELINED,
+                    _ACC_FEATURES, "extacc")
+ACC_MC = DesignPoint("Acc MC", "acc", MicroArch.MULTICYCLE,
+                     _ACC_FEATURES, "extacc")
+LS_SC = DesignPoint("LS SC", "ls", MicroArch.SINGLE_CYCLE,
+                    frozenset(), "loadstore")
+LS_P = DesignPoint("LS P", "ls", MicroArch.PIPELINED,
+                   frozenset(), "loadstore")
+LS_MC = DesignPoint("LS MC", "ls", MicroArch.MULTICYCLE,
+                    frozenset(), "loadstore")
+
+#: Figure 11/12/13 order.
+DSE_DESIGNS = (ACC_SC, ACC_P, ACC_MC, LS_SC, LS_P, LS_MC)
+ALL_DESIGNS = (BASELINE,) + DSE_DESIGNS

@@ -1,0 +1,202 @@
+"""Design-point evaluation: area, power, timing, code size, energy.
+
+Everything Figures 9-13 need, measured rather than assumed:
+
+- *area / static power* come from the design's gate-level netlist;
+- *clock period* comes from STA plus the microarchitecture period model
+  (single-cycle pays fetch + execute in one cycle; the two-stage pipeline
+  overlaps fetch with a decode-trimmed execute stage; multicycle runs a
+  shorter per-cycle path but more cycles);
+- *code size* comes from assembling the Table 6 suite against the
+  design's ISA with its macro library;
+- *cycles* come from functional simulation plus the
+  :mod:`repro.sim.timing` cycle models at the design's program-bus width.
+"""
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dse.designs import ALL_DESIGNS, BASELINE, DesignPoint
+from repro.kernels.kernel import Target
+from repro.kernels.suite import SUITE
+from repro.netlist.sta import FETCH_DELAY_UNITS, analyze
+from repro.sim import MicroArch, cycle_count, cycles_multicycle
+from repro.sim.timing import InfeasibleDesign
+from repro.tech.cells import SECONDS_PER_DELAY_UNIT
+from repro.tech.power import OperatingPoint, static_power_w
+
+#: Pipeline register (clock-to-q + setup) cost added to a staged period.
+PIPELINE_REG_UNITS = 2.0
+#: Fraction of the core critical path left in the execute stage after
+#: the fetch|execute split moves instruction decode into stage one.
+EXEC_STAGE_FRACTION = 0.7
+#: Decode delay charged to the fetch stage of a pipelined design.
+DECODE_STAGE_FRACTION = 0.2
+#: Per-cycle path fraction of a multicycle design.  The split is poor:
+#: there is "very limited opportunity for structure reuse" (Section 3.4),
+#: so the execute cycle still traverses most of the core.
+MC_STAGE_FRACTION = 0.8
+
+
+def period_units(report, microarch):
+    """Clock period of a design, in normalized delay units."""
+    crit = report.critical_delay_units
+    if microarch == MicroArch.SINGLE_CYCLE:
+        return FETCH_DELAY_UNITS + crit
+    if microarch == MicroArch.PIPELINED:
+        fetch_stage = FETCH_DELAY_UNITS + DECODE_STAGE_FRACTION * crit
+        exec_stage = EXEC_STAGE_FRACTION * crit
+        return max(fetch_stage, exec_stage) + PIPELINE_REG_UNITS
+    if microarch == MicroArch.MULTICYCLE:
+        per_cycle = max(FETCH_DELAY_UNITS, MC_STAGE_FRACTION * crit)
+        return per_cycle + PIPELINE_REG_UNITS
+    raise ValueError(microarch)
+
+
+@dataclass
+class KernelMetrics:
+    """One kernel on one design."""
+
+    static_instructions: int
+    code_bits: int
+    dynamic_instructions: int
+    cycles: int
+    time_s: float
+    energy_j: float
+    feasible: bool = True
+
+
+@dataclass
+class DesignMetrics:
+    """Full evaluation of one design point."""
+
+    design: DesignPoint
+    gate_count: int
+    nand2_area: float
+    area_mm2: float
+    pullups: int
+    static_power_w: float
+    critical_delay_units: float
+    period_units: float
+    frequency_hz: float
+    kernels: Dict[str, KernelMetrics] = field(default_factory=dict)
+
+    def total_code_bits(self):
+        return sum(k.code_bits for k in self.kernels.values())
+
+    def mean_relative(self, baseline, attribute):
+        """Geometric-mean ratio of a kernel attribute vs a baseline."""
+        ratios = []
+        for name, metrics in self.kernels.items():
+            base = getattr(baseline.kernels[name], attribute)
+            mine = getattr(metrics, attribute)
+            if base and mine and metrics.feasible:
+                ratios.append(mine / base)
+        if not ratios:
+            return float("nan")
+        return float(np.exp(np.mean(np.log(ratios))))
+
+
+@lru_cache(maxsize=None)
+def _design_static(design):
+    netlist = design.build_netlist()
+    report = analyze(netlist)
+    return netlist, report
+
+
+def _run_kernel(kernel, target, transactions, seed):
+    rng = np.random.default_rng(seed)
+    inputs = kernel.generate_inputs(rng, transactions)
+    result = kernel.check(target, inputs)
+    program = kernel.program(target)
+    return program, result.stats
+
+
+def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
+                    bus_bits=None):
+    """Measure one design point over the whole Table 6 suite.
+
+    ``bus_bits`` restricts the program-memory bus (Figure 13's "(Bus)"
+    configuration uses 8); by default each design gets a bus wide enough
+    to fetch one instruction per cycle, as the paper assumes first.
+    """
+    netlist, report = _design_static(design)
+    punits = period_units(report, design.microarch)
+    period_s = punits * SECONDS_PER_DELAY_UNIT
+    frequency = 1.0 / period_s
+    power = static_power_w(netlist.pullups, OperatingPoint(vdd=vdd))
+
+    target = Target.named(design.isa_name)
+    effective_bus = bus_bits if bus_bits is not None \
+        else target.isa.fetch_bits
+
+    metrics = DesignMetrics(
+        design=design,
+        gate_count=netlist.gate_count,
+        nand2_area=netlist.nand2_area,
+        area_mm2=netlist.area_mm2,
+        pullups=netlist.pullups,
+        static_power_w=power,
+        critical_delay_units=report.critical_delay_units,
+        period_units=punits,
+        frequency_hz=frequency,
+    )
+    # A single-cycle or pipelined machine needs to fetch at least its
+    # smallest instruction in one cycle; with an 8-bit bus the all-16-bit
+    # load-store ISA cannot, so "the single cycle and 2-stage versions of
+    # the load-store machine are not possible" (Section 6.2).  Multi-byte
+    # instructions in an otherwise byte-wide ISA are fine: the FlexiCore8
+    # LOAD BYTE flag generalizes to them.
+    min_instr_bits = 8 * min(
+        spec.size for spec in target.isa.specs.values()
+    )
+    design_feasible = not (
+        design.microarch in (MicroArch.SINGLE_CYCLE, MicroArch.PIPELINED)
+        and effective_bus < min_instr_bits
+    )
+    for kernel in SUITE:
+        program, stats = _run_kernel(kernel, target, transactions, seed)
+        if design.microarch == MicroArch.MULTICYCLE:
+            # The multicycle load-store machine trades its second register
+            # port for an extra operand-read cycle (Section 6.2): CPI 3
+            # (fetch, read, execute) vs the accumulator's CPI 2.
+            execute_cycles = 2 if design.operand_model == "ls" else 1
+            cycles = cycles_multicycle(
+                stats, bus_bits=effective_bus,
+                execute_cycles=execute_cycles,
+            )
+        else:
+            cycles = cycle_count(
+                stats, design.microarch, bus_bits=effective_bus,
+            )
+        feasible = design_feasible
+        time_s = cycles * period_s
+        metrics.kernels[kernel.name] = KernelMetrics(
+            static_instructions=program.static_instructions,
+            code_bits=program.size_bits,
+            dynamic_instructions=stats.instructions,
+            cycles=cycles,
+            time_s=time_s,
+            energy_j=power * time_s,
+            feasible=feasible,
+        )
+    return metrics
+
+
+def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
+                 bus_bits=None):
+    """Evaluate a set of designs; returns {design name: DesignMetrics}."""
+    return {
+        design.name: evaluate_design(
+            design, transactions=transactions, seed=seed, bus_bits=bus_bits
+        )
+        for design in designs
+    }
+
+
+def baseline_metrics(transactions=12, seed=2022):
+    return evaluate_design(BASELINE, transactions=transactions, seed=seed)

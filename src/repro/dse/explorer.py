@@ -1,0 +1,99 @@
+"""Pareto analysis over the design space.
+
+The paper picks two winners by scenario (Section 6.3); this utility
+generalizes that: given the evaluated design points, find the Pareto
+frontier over any subset of (area, energy, code size, latency), and
+explain which designs each one dominates.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dse.designs import ALL_DESIGNS, BASELINE
+from repro.dse.evaluate import evaluate_all
+
+#: Metric extractors (all lower-is-better).
+METRICS = {
+    "area": lambda m, base: m.nand2_area / base.nand2_area,
+    "energy": lambda m, base: m.mean_relative(base, "energy_j"),
+    "latency": lambda m, base: m.mean_relative(base, "time_s"),
+    "code": lambda m, base: (
+        m.total_code_bits() / base.total_code_bits()
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    name: str
+    values: Tuple[float, ...]
+    dominates: Tuple[str, ...]
+
+
+def dominates(a, b):
+    """True when point ``a`` is no worse everywhere and better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(points):
+    """``points``: {name: tuple of lower-is-better values}.
+
+    Returns the non-dominated points, each annotated with the designs it
+    dominates, sorted by the first metric.
+    """
+    frontier = []
+    for name, values in points.items():
+        if any(dominates(other, values)
+               for other_name, other in points.items()
+               if other_name != name):
+            continue
+        beaten = tuple(sorted(
+            other_name for other_name, other in points.items()
+            if other_name != name and dominates(values, other)
+        ))
+        frontier.append(ParetoPoint(name=name, values=values,
+                                    dominates=beaten))
+    return sorted(frontier, key=lambda point: point.values[0])
+
+
+def explore(metrics=("area", "energy"), designs=ALL_DESIGNS,
+            bus_bits=None, transactions=12, feasible_only=True):
+    """Evaluate ``designs`` and return the Pareto frontier over
+    ``metrics`` (names from :data:`METRICS`)."""
+    unknown = set(metrics) - set(METRICS)
+    if unknown:
+        raise KeyError(f"unknown metrics {sorted(unknown)}; "
+                       f"choose from {sorted(METRICS)}")
+    results = evaluate_all(designs, transactions=transactions,
+                           bus_bits=bus_bits)
+    base = results[BASELINE.name] if BASELINE.name in results \
+        else next(iter(results.values()))
+    points = {}
+    for name, metric_values in results.items():
+        if feasible_only and not all(
+            k.feasible for k in metric_values.kernels.values()
+        ):
+            continue
+        points[name] = tuple(
+            METRICS[metric](metric_values, base) for metric in metrics
+        )
+    return pareto_frontier(points), points
+
+
+def format_frontier(frontier, points, metrics):
+    header = f"{'design':<12}" + "".join(f"{m:>9}" for m in metrics) \
+        + "  dominates"
+    lines = [header]
+    frontier_names = {point.name for point in frontier}
+    for name, values in sorted(points.items(), key=lambda kv: kv[1][0]):
+        marker = "*" if name in frontier_names else " "
+        cells = "".join(f"{value:9.2f}" for value in values)
+        beaten = ""
+        for point in frontier:
+            if point.name == name and point.dominates:
+                beaten = ", ".join(point.dominates)
+        lines.append(f"{marker}{name:<11}{cells}  {beaten}")
+    lines.append("(* = Pareto-optimal)")
+    return "\n".join(lines)

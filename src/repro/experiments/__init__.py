@@ -1,0 +1,25 @@
+"""One entry point per paper table and figure (see DESIGN.md's index)."""
+
+from repro.experiments import figures, paper_data, tables
+
+table2 = tables.table2
+table3 = tables.table3
+table4 = tables.table4
+table5 = tables.table5
+table6 = tables.table6
+table7 = tables.table7
+figure6 = figures.figure6
+figure7 = figures.figure7
+figure8 = figures.figure8
+figure9 = figures.figure9
+figure10 = figures.figure10
+figure11 = figures.figure11
+figure12 = figures.figure12
+figure13 = figures.figure13
+
+__all__ = [
+    "figures", "paper_data", "tables",
+    "table2", "table3", "table4", "table5", "table6", "table7",
+    "figure6", "figure7", "figure8", "figure9", "figure10",
+    "figure11", "figure12", "figure13",
+]

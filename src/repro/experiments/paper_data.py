@@ -1,0 +1,118 @@
+"""Published values from the paper, for paper-vs-measured reporting.
+
+Everything here is a number printed in the paper (tables, figures, or
+prose); EXPERIMENTS.md compares them against this reproduction's
+measured outputs.
+"""
+
+#: Table 2 -- FlexiCore4 module breakdown (% of core area / static power).
+TABLE2_AREA_PCT = {
+    "alu": 9.0, "decoder": 1.0, "memory": 58.3, "pc": 23.4, "acc": 5.4,
+}
+TABLE2_POWER_PCT = {
+    "alu": 7.9, "decoder": 0.8, "memory": 57.5, "pc": 20.9, "acc": 5.8,
+}
+
+#: Table 3 -- FlexiCore8 module breakdown.
+TABLE3_AREA_PCT = {
+    "alu": 15.5, "decoder": 2.9, "memory": 40.9, "pc": 17.9, "acc": 10.8,
+}
+TABLE3_POWER_PCT = {
+    "alu": 14.9, "decoder": 2.7, "memory": 36.7, "pc": 17.4, "acc": 11.6,
+}
+
+#: Table 4 -- FlexiCore comparison.
+TABLE4 = {
+    "FlexiCore4": {
+        "area_mm2": 5.56, "mean_power_mw": 4.9, "yield": 0.81,
+        "pins": 25, "devices": 2104, "clock_khz": 12.5, "width": 4,
+    },
+    "FlexiCore8": {
+        "area_mm2": 6.05, "mean_power_mw": 3.9, "yield": 0.57,
+        "pins": 31, "devices": 2335, "clock_khz": 12.5, "width": 8,
+    },
+    "FlexiCore4+": {
+        "area_mm2": 6.4, "mean_power_mw": 3.4, "yield": None,
+        "pins": 24, "devices": 2420, "clock_khz": 12.5, "width": 4,
+    },
+}
+
+#: Table 5 -- yield (%) full wafer / inclusion zone at 3 V and 4.5 V.
+TABLE5 = {
+    "FlexiCore4": {"full": {3.0: 44, 4.5: 63}, "incl": {3.0: 55, 4.5: 81}},
+    "FlexiCore8": {"full": {3.0: 5, 4.5: 42}, "incl": {3.0: 6, 4.5: 57}},
+}
+
+#: Table 6 -- static instruction counts of the benchmark suite.
+TABLE6 = {
+    "Calculator": 352,
+    "Four-tap FIR": 177,
+    "Decision Tree": 210,
+    "IntAvg": 132,
+    "Thresholding": 102,
+    "Parity Check": 105,
+    "XorShift8": 186,
+}
+
+#: Table 7 -- comparison to other flexible ICs (literature constants).
+TABLE7_OTHERS = [
+    # name, devices, area mm2, pins, V, power mW, clock kHz, technology,
+    # logic family, nand2 area, flexible, programmability, width
+    ("PlasticARM", 56340, 59.2, 28, 3.0, 21.0, 29.0,
+     "0.8um IGZO-TFT", "NMOS", 18334, True, "mask ROM", 32),
+    ("Sharp Z80", 13000, 169.0, 40, 5.0, 15.0, 3000.0,
+     "3um CG-Si TFT", "CMOS", None, False, "field", 8),
+    ("UHF RFCPU", 133000, 93.45, None, 1.8, 0.81, 1120.0,
+     "0.8um poly-Si TFT", "CMOS", None, True, "mask ROM", 8),
+    ("8bit ALU", 3504, 225.6, 30, 6.5, None, 2.1,
+     "5um organic+m-ox TFT", "CMOS", 876, True, "printed PROM", 8),
+    ("MLIC", 3132, 5.6, 23, 4.5, 7.2, 104.0,
+     "0.8um IGZO-TFT", "NMOS", 1024, True, "none", 5),
+    ("Intel 4004", 2250, 12.0, 16, 15.0, 1000.0, 1000.0,
+     "10um Si", "PMOS", None, False, "field", 4),
+]
+TABLE7_THIS_WORK = {
+    "devices": 2104, "area_mm2": 5.6, "pins": 28, "voltage": 4.5,
+    "power_mw": 4.05, "clock_khz": 12.5, "nand2": 801,
+    "power_density_mw_mm2": 0.723, "yield": 0.81, "width": 4,
+}
+
+#: Section 5.2 / Figure 8 headline numbers.
+FIG8_LATENCY_RANGE_MS = (4.28, 12.9)
+FIG8_ENERGY_RANGE_UJ = (21.0, 61.4)
+NJ_PER_INSTRUCTION = 360.0
+
+#: Section 4.2 -- current-draw statistics of functional dies.
+SECTION42 = {
+    "FlexiCore4": {
+        "mean_ma": {4.5: 1.1, 3.0: 0.73},
+        "range_ma": {4.5: (0.8, 1.4), 3.0: (0.53, 0.89)},
+        "rsd": 0.153,
+    },
+    "FlexiCore8": {
+        "mean_ma": {4.5: 0.75, 3.0: 0.65},
+        "range_ma": {4.5: (0.60, 1.4), 3.0: (0.36, 0.42)},
+        "rsd": 0.215,
+    },
+}
+
+#: Section 6 headline DSE outcomes.
+DSE_HEADLINES = {
+    "energy_ratio_range": (0.45, 0.56),       # new cores vs FlexiCore4
+    "perf_gain_range": (1.53, 2.15),          # SC and pipelined cores
+    "code_size_ratio_max": 0.30,              # revised ISA vs base
+    "area_overhead_range": (1.09, 1.37),
+    "second_port_memory_cost": {"flexicore4": 0.39, "flexicore8": 0.25},
+}
+
+#: Section 3.5 -- synthesis comparisons.
+SECTION35 = {
+    "fc4_area_mm2": 5.56,
+    "fc8_area_mm2": 6.06,
+    "fc4_static_mw": 1.8,
+    "fc8_static_mw": 2.4,
+    "msp430_area_mm2": 170.0,
+    "msp430_static_mw": 41.2,
+    "msp430_area_ratio": 30.0,
+    "msp430_power_ratio": 23.0,
+}

@@ -1,0 +1,36 @@
+"""Fabrication, probing, yield and process-variation models (Section 4)."""
+
+from repro.fab.process import FC4_WAFER, FC8_WAFER, WaferProcess, process_for
+from repro.fab.testing import (
+    FaultStudyResult,
+    directed_program,
+    fault_injection_study,
+    random_program,
+    toggle_coverage_study,
+)
+from repro.fab.wafer import (
+    DEFAULT_DIE_PITCH_MM,
+    DIE_AREA_MM2,
+    EDGE_EXCLUSION_MM,
+    WAFER_DIAMETER_MM,
+    DieSite,
+    Wafer,
+)
+from repro.fab.yield_model import (
+    TEST_CYCLES,
+    Die,
+    FabricatedWafer,
+    ProbeRecord,
+    WaferProbeResult,
+    fabricate_wafer,
+    run_yield_study,
+)
+
+__all__ = [
+    "DEFAULT_DIE_PITCH_MM", "DIE_AREA_MM2", "Die", "DieSite",
+    "EDGE_EXCLUSION_MM", "FC4_WAFER", "FC8_WAFER", "FabricatedWafer",
+    "FaultStudyResult", "ProbeRecord", "TEST_CYCLES", "WAFER_DIAMETER_MM",
+    "Wafer", "WaferProbeResult", "WaferProcess", "directed_program",
+    "fabricate_wafer", "fault_injection_study", "process_for",
+    "random_program", "run_yield_study", "toggle_coverage_study",
+]

@@ -1,0 +1,120 @@
+"""Die-cost model: the paper's "sub-cent at volume" claim.
+
+Section 1/4: "4-bit FlexiCores have 81% yield -- sufficient to enable
+sub-cent cost if produced at volume."  The FlexLogIC 'fab-in-a-box' line
+makes flexible wafers radically cheaper than silicon: published
+PragmatIC figures put processed-wafer cost in the low tens of dollars at
+volume (versus thousands for CMOS), which is the whole premise of
+item-level tagging (Section 1).
+
+The model is the standard one: cost per *good* die = wafer cost /
+(dies per wafer x yield), plus a per-die test/singulation adder.
+"""
+
+from dataclasses import dataclass
+
+from repro.fab.wafer import Wafer
+
+#: Processed 200 mm flexible wafer cost at volume, USD.  PragmatIC's
+#: public positioning for FlexLogIC is "well under a cent per FlexIC",
+#: implying processed-wafer costs around the ten-dollar mark at volume.
+FLEX_WAFER_COST_USD = 10.0
+#: Per-die probe-test + singulation adder at volume, USD.
+TEST_COST_USD = 0.0008
+#: A 200 mm silicon wafer processed on a mature node, for contrast.
+SILICON_WAFER_COST_USD = 1500.0
+
+#: Scribe street between dies in a production (dense) layout, mm.  The
+#: research wafers of Figure 4 place one die per ~15 mm reticle step;
+#: volume production tiles the 3 mm die wall to wall.
+PRODUCTION_STREET_MM = 0.15
+
+
+def production_die_count(die_area_mm2=9.0, street_mm=PRODUCTION_STREET_MM,
+                         wafer_diameter_mm=200.0, edge_exclusion_mm=16.0):
+    """Dies per wafer in a dense production layout.
+
+    The paper's sub-cent claim assumes volume production, not the sparse
+    research layout (124 sites) used for the yield study.
+    """
+    import math
+
+    side = math.sqrt(die_area_mm2)
+    pitch = side + street_mm
+    usable_radius = wafer_diameter_mm / 2 - edge_exclusion_mm
+    usable_area = math.pi * usable_radius ** 2
+    return int(usable_area * 0.95 / pitch ** 2)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Cost accounting for one design on one wafer recipe."""
+
+    dies_per_wafer: int
+    yield_fraction: float
+    wafer_cost_usd: float
+    test_cost_usd: float
+
+    @property
+    def good_dies_per_wafer(self):
+        return self.dies_per_wafer * self.yield_fraction
+
+    @property
+    def cost_per_good_die_usd(self):
+        if self.good_dies_per_wafer <= 0:
+            return float("inf")
+        return (self.wafer_cost_usd / self.good_dies_per_wafer
+                + self.test_cost_usd)
+
+    @property
+    def sub_cent(self):
+        return self.cost_per_good_die_usd < 0.01
+
+
+def flexible_die_cost(yield_fraction, dies_per_wafer=None,
+                      wafer_cost_usd=FLEX_WAFER_COST_USD,
+                      test_cost_usd=TEST_COST_USD):
+    """Cost of one good FlexiCore die in volume production."""
+    if dies_per_wafer is None:
+        dies_per_wafer = production_die_count()
+    return CostEstimate(
+        dies_per_wafer=dies_per_wafer,
+        yield_fraction=yield_fraction,
+        wafer_cost_usd=wafer_cost_usd,
+        test_cost_usd=test_cost_usd,
+    )
+
+
+def research_die_cost(yield_fraction,
+                      wafer_cost_usd=FLEX_WAFER_COST_USD,
+                      test_cost_usd=TEST_COST_USD):
+    """Same accounting on the sparse 124-site research layout of
+    Figure 4 -- nowhere near sub-cent, which is why the claim is 'at
+    volume'."""
+    return CostEstimate(
+        dies_per_wafer=len(Wafer.standard()),
+        yield_fraction=yield_fraction,
+        wafer_cost_usd=wafer_cost_usd,
+        test_cost_usd=test_cost_usd,
+    )
+
+
+def yield_for_target_cost(target_usd, dies_per_wafer=None,
+                          wafer_cost_usd=FLEX_WAFER_COST_USD,
+                          test_cost_usd=TEST_COST_USD):
+    """Minimum yield at which a good die costs at most ``target_usd``."""
+    if dies_per_wafer is None:
+        dies_per_wafer = production_die_count()
+    if target_usd <= test_cost_usd:
+        return float("inf")
+    return wafer_cost_usd / (
+        dies_per_wafer * (target_usd - test_cost_usd)
+    )
+
+
+def cost_sensitivity(yields, dies_per_wafer=None):
+    """Cost-vs-yield curve (for the ablation bench)."""
+    return {
+        y: flexible_die_cost(y, dies_per_wafer).cost_per_good_die_usd
+        for y in yields
+    }

@@ -1,0 +1,61 @@
+"""Per-wafer process descriptions.
+
+FlexiCore4 and FlexiCore8 were fabricated on different wafers, with a
+process refinement (50% higher pull-up resistance) in between (Table 4),
+and their defect environments differ -- which is why FlexiCore8's yield
+(57%) is far below what its mere 9% gate-count increase over FlexiCore4
+(81%) would predict.  A :class:`WaferProcess` captures one wafer's
+statistical personality; the two presets are calibrated to land on the
+paper's Table 5 / Section 4.2 numbers when combined with the measured
+netlist areas and timing.
+"""
+
+from dataclasses import dataclass
+
+from repro.tech import tft
+
+
+@dataclass(frozen=True)
+class WaferProcess:
+    """Statistical description of one wafer's process corner."""
+
+    name: str
+    #: Poisson defect density over placed logic area, inclusion zone.
+    defect_density_per_mm2: float
+    #: Defect-density multiplier in the 16 mm edge-exclusion ring.
+    edge_defect_multiplier: float = 14.0
+    #: Lognormal sigma of the per-die speed factor.
+    speed_sigma: float = tft.SPEED_SIGMA
+    #: Mean speed-factor penalty for edge dies (edge devices are slower).
+    edge_speed_penalty: float = 1.35
+    #: Lognormal sigma of per-die static current.
+    current_sigma: float = tft.CURRENT_SIGMA
+    #: Fractional current increase from wafer center to edge.
+    radial_current_gradient: float = 0.06
+    #: Post-refinement wafers have 50% higher pull-up resistance.
+    refined_pullups: bool = False
+
+
+#: The FlexiCore4 wafer: calibrated so a 3.5 mm^2 logic die yields ~81%
+#: in the inclusion zone at 4.5 V (Table 5).
+FC4_WAFER = WaferProcess(
+    name="fc4-wafer",
+    defect_density_per_mm2=0.0607,
+    current_sigma=0.15,
+    refined_pullups=False,
+)
+
+#: The FlexiCore8 wafer: a dirtier run (57% yield despite only ~20% more
+#: logic area) with the refined pull-ups and wider current spread.
+FC8_WAFER = WaferProcess(
+    name="fc8-wafer",
+    defect_density_per_mm2=0.131,
+    current_sigma=0.21,
+    refined_pullups=True,
+)
+
+
+def process_for(core_name):
+    if "8" in core_name:
+        return FC8_WAFER
+    return FC4_WAFER

@@ -1,0 +1,85 @@
+"""Process-variation consequences (Section 4.2).
+
+Beyond reporting the current-draw spread, the paper observes: "The high
+process variation can have significant impact on the number of usages of
+a flexible microprocessor given an energy budget."  This module turns
+that sentence into an analysis: given a probed wafer and a kernel's
+per-transaction energy on the *typical* die, compute the distribution of
+usable transaction counts per die on a fixed battery.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.tech.power import FMAX_HZ
+
+
+@dataclass(frozen=True)
+class UsageDistribution:
+    """Per-die usable-transaction counts on a fixed energy budget."""
+
+    budget_j: float
+    energy_per_use_typical_j: float
+    usages: np.ndarray  # one entry per functional die
+
+    @property
+    def mean(self):
+        return float(np.mean(self.usages))
+
+    @property
+    def minimum(self):
+        return int(np.min(self.usages))
+
+    @property
+    def maximum(self):
+        return int(np.max(self.usages))
+
+    @property
+    def relative_spread(self):
+        """(max - min) / mean: how unequal identical chips become."""
+        if self.mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.mean
+
+    @property
+    def rsd(self):
+        mean = self.mean
+        return float(np.std(self.usages) / mean) if mean else 0.0
+
+
+def usage_distribution(probe, instructions_per_use,
+                       budget_j=54.0, frequency_hz=FMAX_HZ):
+    """Usable-transaction distribution across a probed wafer.
+
+    ``probe`` is a :class:`~repro.fab.yield_model.WaferProbeResult`;
+    each functional die's per-use energy scales with its measured
+    current draw (static-power-dominated technology, Section 3.1).
+    ``budget_j`` defaults to a 3 V, 5 mAh battery (54 J).
+    """
+    time_per_use = instructions_per_use / frequency_hz
+    currents = probe.functional_currents_ma()
+    if len(currents) == 0:
+        raise ValueError("no functional dies on this wafer")
+    powers_w = currents * 1e-3 * probe.voltage
+    energies = powers_w * time_per_use
+    usages = np.floor(budget_j / energies).astype(int)
+    typical = float(np.median(energies))
+    return UsageDistribution(
+        budget_j=budget_j,
+        energy_per_use_typical_j=typical,
+        usages=usages,
+    )
+
+
+def summarize(distribution):
+    return (
+        f"budget {distribution.budget_j:.0f} J: "
+        f"{distribution.minimum}..{distribution.maximum} uses/die "
+        f"(mean {distribution.mean:.0f}, "
+        f"rsd {100 * distribution.rsd:.1f}%, "
+        f"best die lasts "
+        f"{distribution.maximum / max(1, distribution.minimum):.2f}x "
+        f"longer than the worst)"
+    )

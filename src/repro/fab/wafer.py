@@ -1,0 +1,84 @@
+"""Wafer geometry: the 200 mm polyimide wafer of Figure 4.
+
+The paper fabricates FlexiCores on 200 mm spin-coated polyimide wafers --
+one wafer photo shows 123 FlexiCore4 die sites -- and excludes the outer
+16 mm ring ("edge exclusion zone", marked red in Figure 4) from yield
+accounting because edge effects degrade those dies.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+#: Wafer diameter (Figure 1: 200 mm polyimide).
+WAFER_DIAMETER_MM = 200.0
+#: Width of the edge exclusion ring (Section 4.1).
+EDGE_EXCLUSION_MM = 16.0
+#: Die pitch chosen so a wafer carries ~123 sites, matching Figure 4a.
+DEFAULT_DIE_PITCH_MM = 15.2
+#: Physical die area including IO ring and pads (Section 4).
+DIE_AREA_MM2 = 9.0
+
+
+@dataclass(frozen=True)
+class DieSite:
+    """One die position on the wafer."""
+
+    index: int
+    row: int
+    col: int
+    x_mm: float   # center, wafer-centered coordinates
+    y_mm: float
+
+    @property
+    def radius_mm(self):
+        return math.hypot(self.x_mm, self.y_mm)
+
+    @property
+    def in_inclusion_zone(self):
+        return self.radius_mm <= (WAFER_DIAMETER_MM / 2 - EDGE_EXCLUSION_MM)
+
+
+@dataclass
+class Wafer:
+    """A wafer full of die sites."""
+
+    pitch_mm: float
+    sites: List[DieSite] = field(default_factory=list)
+
+    @classmethod
+    def standard(cls, pitch_mm=DEFAULT_DIE_PITCH_MM):
+        """Rectangular-grid die map clipped to the wafer circle."""
+        radius = WAFER_DIAMETER_MM / 2
+        count = int(WAFER_DIAMETER_MM // pitch_mm) + 1
+        offsets = [
+            (i - (count - 1) / 2) * pitch_mm for i in range(count)
+        ]
+        die_half_mm = 1.7  # the 9 mm^2 die itself must fit, not the pitch cell
+        sites = []
+        index = 0
+        for row, y in enumerate(offsets):
+            for col, x in enumerate(offsets):
+                if math.hypot(x, y) > radius - die_half_mm:
+                    continue
+                sites.append(DieSite(
+                    index=index, row=row, col=col, x_mm=x, y_mm=y,
+                ))
+                index += 1
+        return cls(pitch_mm=pitch_mm, sites=sites)
+
+    def __len__(self):
+        return len(self.sites)
+
+    @property
+    def inclusion_sites(self):
+        return [site for site in self.sites if site.in_inclusion_zone]
+
+    @property
+    def edge_sites(self):
+        return [site for site in self.sites if not site.in_inclusion_zone]
+
+    def grid_shape(self):
+        rows = max(site.row for site in self.sites) + 1
+        cols = max(site.col for site in self.sites) + 1
+        return rows, cols

@@ -1,0 +1,69 @@
+"""ISA reference generation: render any ISA's instruction table as text.
+
+Produces the Figure 2-style documentation for every ISA variant,
+directly from the single source of truth (the InstructionSpec table), so
+the rendered reference can never drift from the implementation.
+"""
+
+from repro.isa.model import OperandKind
+
+
+def _operand_signature(spec):
+    parts = []
+    for operand in spec.operands:
+        kind = operand.kind
+        if kind == OperandKind.IMM:
+            parts.append(f"{operand.name}[{operand.lo}..{operand.hi}]")
+        elif kind == OperandKind.MEMADDR:
+            parts.append(f"addr[0..{operand.hi}]")
+        elif kind == OperandKind.TARGET:
+            parts.append("target")
+        elif kind == OperandKind.SHAMT:
+            parts.append(f"shamt[1..{operand.hi}]")
+        elif kind == OperandKind.REG:
+            parts.append(f"r0..r{operand.hi}")
+        elif kind == OperandKind.MASK:
+            parts.append("nzp")
+    return ", ".join(parts)
+
+
+def _example_encoding(isa, spec):
+    operands = []
+    for operand in spec.operands:
+        if operand.kind == OperandKind.TARGET:
+            operands.append(0)
+        else:
+            operands.append(max(operand.lo, 1))
+    encoded = spec.encode(tuple(operands))
+    return " ".join(f"{byte:08b}" for byte in encoded)
+
+
+def isa_reference(isa):
+    """Render one ISA's full instruction listing."""
+    lines = [
+        f"ISA: {isa.name}",
+        f"  datapath: {isa.word_bits} bits | data memory: "
+        f"{isa.mem_words} words | PC: {isa.pc_bits} bits | "
+        f"fetch unit: {isa.fetch_bits} bits | "
+        f"{'accumulator' if isa.accumulator else 'load-store'} machine",
+        "",
+        f"{'mnemonic':<9} {'operands':<18} {'bytes':>5}  "
+        f"{'example encoding':<18} description",
+    ]
+    for mnemonic in isa.mnemonics():
+        spec = isa.spec(mnemonic)
+        lines.append(
+            f"{mnemonic:<9} {_operand_signature(spec):<18} "
+            f"{spec.size:>5}  {_example_encoding(isa, spec):<18} "
+            f"{spec.description}"
+        )
+    return "\n".join(lines)
+
+
+def all_references():
+    """References for the commonly used variants."""
+    from repro.isa.registry import available_isas, get_isa
+
+    return "\n\n".join(
+        isa_reference(get_isa(name)) for name in available_isas()
+    )

@@ -1,0 +1,28 @@
+"""Exceptions raised by the ISA layer."""
+
+
+class IsaError(Exception):
+    """Base class for all ISA-level errors."""
+
+
+class EncodeError(IsaError):
+    """An instruction could not be encoded (bad mnemonic or operands)."""
+
+
+class DecodeError(IsaError):
+    """A byte sequence does not decode to a valid instruction."""
+
+
+class OperandRangeError(EncodeError):
+    """An operand value is outside the range its field can represent."""
+
+    def __init__(self, mnemonic, operand_name, value, lo, hi):
+        self.mnemonic = mnemonic
+        self.operand_name = operand_name
+        self.value = value
+        self.lo = lo
+        self.hi = hi
+        super().__init__(
+            f"{mnemonic}: operand '{operand_name}'={value} outside "
+            f"[{lo}, {hi}]"
+        )

@@ -1,0 +1,188 @@
+"""FlexiCore4: the fabricated 4-bit base ISA (Figure 2a).
+
+Nine instructions over four formats, all one byte wide:
+
+========  ==================  =========================================
+Format    Encoding            Semantics
+========  ==================  =========================================
+Branch    ``1ttttttt``        if acc MSB set: PC <- target
+I-Type    ``01ooiiii``        acc <- acc op imm4   (op: add/nand/xor)
+M-Type    ``00oo0aaa``        acc <- acc op mem[a] (op: add/nand/xor)
+T-Type    ``0111taaa``        t=0: acc <- mem[a];  t=1: mem[a] <- acc
+========  ==================  =========================================
+
+The T-Type occupies the I-Type's fourth opcode slot (op = 11), consistent
+with the paper's statement that instruction bits 5:4 drive the ALU output
+mux and bit 6 selects the immediate-vs-memory operand.  Data addresses 0
+and 1 are the memory-mapped IPORT and OPORT.
+
+The state is a 4-bit accumulator, a 7-bit PC and eight 4-bit memory words;
+there is no architected carry flag, no stack, and no other register --
+which is exactly why the fabricated core needs only 336 gates.
+"""
+
+from repro.isa import bits
+from repro.isa.errors import DecodeError
+from repro.isa.model import (
+    ISA,
+    DecodedInstruction,
+    InstrClass,
+    InstructionSpec,
+    decode_helper,
+    imm_operand,
+    memaddr_operand,
+    target_operand,
+)
+
+# ALU opcode values shared by the I- and M-Type formats.
+OP_ADD = 0b00
+OP_NAND = 0b01
+OP_XOR = 0b10
+OP_TRANSFER = 0b11  # T-Type escape in the I-Type space
+
+_ALU_OPS = {OP_ADD: "add", OP_NAND: "nand", OP_XOR: "xor"}
+
+
+def alu_result(op, a, b, width):
+    """The FlexiCore ALU of Figure 3b.
+
+    A single ripple-carry adder computes the sum; AND and XOR fall out of
+    the same adder as side effects, and NAND costs four extra inverters.
+    Returns (result, carry_out); the base ISA discards the carry.
+    """
+    if op == OP_ADD:
+        return bits.add_with_carry(a, b, 0, width)
+    if op == OP_NAND:
+        return bits.truncate(~(a & b), width), 0
+    if op == OP_XOR:
+        return bits.truncate(a ^ b, width), 0
+    raise ValueError(f"not an ALU op: {op}")
+
+
+class FlexiCore4(ISA):
+    """The fabricated 4-bit FlexiCore ISA."""
+
+    name = "flexicore4"
+    word_bits = 4
+    mem_words = 8
+    pc_bits = 7
+    fetch_bits = 8
+    accumulator = True
+
+    # -- instruction definitions -----------------------------------------
+
+    def _define_instructions(self):
+        width = self.word_bits
+
+        def make_imm_exec(op):
+            def execute(state, operands):
+                imm = bits.truncate(operands[0], width)
+                result, _ = alu_result(op, state.acc, imm, width)
+                state.set_acc(result)
+                state.advance_pc(1)
+            return execute
+
+        def make_mem_exec(op):
+            def execute(state, operands):
+                value = state.read_mem(operands[0])
+                result, _ = alu_result(op, state.acc, value, width)
+                state.set_acc(result)
+                state.advance_pc(1)
+            return execute
+
+        for op, base in _ALU_OPS.items():
+            self._add(InstructionSpec(
+                mnemonic=base + "i",
+                operands=(imm_operand(width=width),),
+                size=1,
+                encode_fn=self._make_imm_encoder(op),
+                execute_fn=make_imm_exec(op),
+                iclass=InstrClass.ALU,
+                description=f"acc <- acc {base} imm{width}",
+            ))
+            self._add(InstructionSpec(
+                mnemonic=base,
+                operands=(memaddr_operand(self.mem_words),),
+                size=1,
+                encode_fn=self._make_mem_encoder(op),
+                execute_fn=make_mem_exec(op),
+                iclass=InstrClass.ALU,
+                description=f"acc <- acc {base} mem[addr]",
+            ))
+
+        def exec_load(state, operands):
+            state.set_acc(state.read_mem(operands[0]))
+            state.advance_pc(1)
+
+        def exec_store(state, operands):
+            state.write_mem(operands[0], state.acc)
+            state.advance_pc(1)
+
+        self._add(InstructionSpec(
+            mnemonic="load",
+            operands=(memaddr_operand(self.mem_words),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b0111_0000 | (ops[0] & 0b111)]),
+            execute_fn=exec_load,
+            iclass=InstrClass.MEMORY,
+            description="acc <- mem[addr] (addr 0 reads IPORT)",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="store",
+            operands=(memaddr_operand(self.mem_words),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b0111_1000 | (ops[0] & 0b111)]),
+            execute_fn=exec_store,
+            iclass=InstrClass.MEMORY,
+            description="mem[addr] <- acc (addr 1 drives OPORT)",
+        ))
+
+        def exec_brn(state, operands):
+            if state.acc_negative():
+                state.branch_to(operands[0])
+            else:
+                state.advance_pc(1)
+
+        self._add(InstructionSpec(
+            mnemonic="brn",
+            operands=(target_operand(self.pc_bits),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b1000_0000 | (ops[0] & 0x7F)]),
+            execute_fn=exec_brn,
+            iclass=InstrClass.BRANCH,
+            description="if acc MSB: PC <- target",
+        ))
+
+    def _make_imm_encoder(self, op):
+        def encode(operands):
+            imm = bits.truncate(operands[0], self.word_bits)
+            return bytes([0b0100_0000 | (op << 4) | imm])
+        return encode
+
+    def _make_mem_encoder(self, op):
+        def encode(operands):
+            return bytes([(op << 4) | (operands[0] & 0b111)])
+        return encode
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, code, offset=0):
+        raw = decode_helper(code, offset, 1, self.name)
+        byte = raw[0]
+        if byte & 0x80:  # Branch
+            spec, ops = self.specs["brn"], (byte & 0x7F,)
+        elif byte & 0x40:  # I-Type / T-Type
+            op = bits.get_field(byte, 5, 4)
+            if op == OP_TRANSFER:
+                mnem = "store" if bits.bit(byte, 3) else "load"
+                spec, ops = self.specs[mnem], (byte & 0b111,)
+            else:
+                spec, ops = self.specs[_ALU_OPS[op] + "i"], (byte & 0x0F,)
+        else:  # M-Type
+            op = bits.get_field(byte, 5, 4)
+            if op == OP_TRANSFER or bits.bit(byte, 3):
+                raise DecodeError(
+                    f"{self.name}: undefined opcode byte {byte:#04x}"
+                )
+            spec, ops = self.specs[_ALU_OPS[op]], (byte & 0b111,)
+        return DecodedInstruction(spec=spec, operands=ops, address=offset, raw=raw)

@@ -1,0 +1,193 @@
+"""FlexiCore8: the fabricated 8-bit base ISA (Figure 2b).
+
+FlexiCore8 has all of FlexiCore4's instructions widened to an 8-bit
+datapath, with two differences driven by the <800-NAND2 area budget:
+
+- the data memory is halved to four octets (so memory addresses are two
+  bits), and
+- a two-byte LOAD BYTE instruction (opcode byte ``0000_1000``) loads a
+  full 8-bit immediate, because the I-Type's 4-bit immediate can no longer
+  materialize every constant.
+
+LOAD BYTE is the only stateful part of the decoder: recognizing the opcode
+sets a 'load byte' flag indicating the next fetched byte is data, not an
+instruction (Section 3.4) -- the single flip-flop of FlexiCore8's
+controller.  I-Type immediates are sign-extended to 8 bits (the hardware
+simply wires bit 3 across the upper nibble), which preserves the base
+ISA's ``addi -3`` and ``nandi 0`` idioms.
+"""
+
+from repro.isa import bits
+from repro.isa.errors import DecodeError
+from repro.isa.flexicore4 import _ALU_OPS, OP_TRANSFER, alu_result
+from repro.isa.model import (
+    ISA,
+    DecodedInstruction,
+    InstrClass,
+    InstructionSpec,
+    decode_helper,
+    imm_operand,
+    memaddr_operand,
+    target_operand,
+)
+
+#: The LOAD BYTE opcode byte of Figure 2b.
+LOAD_BYTE_OPCODE = 0b0000_1000
+
+
+class FlexiCore8(ISA):
+    """The fabricated 8-bit FlexiCore ISA."""
+
+    name = "flexicore8"
+    word_bits = 8
+    mem_words = 4
+    pc_bits = 7
+    fetch_bits = 8
+    accumulator = True
+
+    def _define_instructions(self):
+        width = self.word_bits
+
+        def make_imm_exec(op):
+            def execute(state, operands):
+                imm = bits.truncate(
+                    bits.sign_extend(operands[0], 4), width
+                )
+                result, _ = alu_result(op, state.acc, imm, width)
+                state.set_acc(result)
+                state.advance_pc(1)
+            return execute
+
+        def make_mem_exec(op):
+            def execute(state, operands):
+                value = state.read_mem(operands[0])
+                result, _ = alu_result(op, state.acc, value, width)
+                state.set_acc(result)
+                state.advance_pc(1)
+            return execute
+
+        for op, base in _ALU_OPS.items():
+            self._add(InstructionSpec(
+                mnemonic=base + "i",
+                operands=(imm_operand(width=4),),
+                size=1,
+                encode_fn=self._make_imm_encoder(op),
+                execute_fn=make_imm_exec(op),
+                iclass=InstrClass.ALU,
+                description=f"acc <- acc {base} sext(imm4)",
+            ))
+            self._add(InstructionSpec(
+                mnemonic=base,
+                operands=(memaddr_operand(self.mem_words),),
+                size=1,
+                encode_fn=self._make_mem_encoder(op),
+                execute_fn=make_mem_exec(op),
+                iclass=InstrClass.ALU,
+                description=f"acc <- acc {base} mem[addr]",
+            ))
+
+        def exec_load(state, operands):
+            state.set_acc(state.read_mem(operands[0]))
+            state.advance_pc(1)
+
+        def exec_store(state, operands):
+            state.write_mem(operands[0], state.acc)
+            state.advance_pc(1)
+
+        self._add(InstructionSpec(
+            mnemonic="load",
+            operands=(memaddr_operand(self.mem_words),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b0111_0000 | (ops[0] & 0b11)]),
+            execute_fn=exec_load,
+            iclass=InstrClass.MEMORY,
+            description="acc <- mem[addr] (addr 0 reads IPORT)",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="store",
+            operands=(memaddr_operand(self.mem_words),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b0111_1000 | (ops[0] & 0b11)]),
+            execute_fn=exec_store,
+            iclass=InstrClass.MEMORY,
+            description="mem[addr] <- acc (addr 1 drives OPORT)",
+        ))
+
+        def exec_brn(state, operands):
+            if state.acc_negative():
+                state.branch_to(operands[0])
+            else:
+                state.advance_pc(1)
+
+        self._add(InstructionSpec(
+            mnemonic="brn",
+            operands=(target_operand(self.pc_bits),),
+            size=1,
+            encode_fn=lambda ops: bytes([0b1000_0000 | (ops[0] & 0x7F)]),
+            execute_fn=exec_brn,
+            iclass=InstrClass.BRANCH,
+            description="if acc MSB: PC <- target",
+        ))
+
+        def exec_ldb(state, operands):
+            # The decoder flag is architecturally visible for exactly one
+            # cycle; the functional model folds both cycles into one step.
+            state.load_byte_pending = True
+            state.set_acc(operands[0])
+            state.load_byte_pending = False
+            state.advance_pc(2)
+
+        self._add(InstructionSpec(
+            mnemonic="ldb",
+            operands=(imm_operand(name="imm8", width=8, signed=True),),
+            size=2,
+            encode_fn=lambda ops: bytes(
+                [LOAD_BYTE_OPCODE, bits.truncate(ops[0], 8)]
+            ),
+            execute_fn=exec_ldb,
+            iclass=InstrClass.ALU,
+            feature=None,
+            description="acc <- imm8 (two-byte LOAD BYTE, Figure 2b)",
+        ))
+
+    def _make_imm_encoder(self, op):
+        def encode(operands):
+            imm = bits.truncate(operands[0], 4)
+            return bytes([0b0100_0000 | (op << 4) | imm])
+        return encode
+
+    def _make_mem_encoder(self, op):
+        def encode(operands):
+            return bytes([(op << 4) | (operands[0] & 0b11)])
+        return encode
+
+    def decode(self, code, offset=0):
+        first = decode_helper(code, offset, 1, self.name)[0]
+        if first == LOAD_BYTE_OPCODE:
+            raw = decode_helper(code, offset, 2, self.name)
+            return DecodedInstruction(
+                spec=self.specs["ldb"], operands=(raw[1],),
+                address=offset, raw=raw,
+            )
+        raw = bytes([first])
+        if first & 0x80:
+            spec, ops = self.specs["brn"], (first & 0x7F,)
+        elif first & 0x40:
+            op = bits.get_field(first, 5, 4)
+            if op == OP_TRANSFER:
+                if bits.bit(first, 2):
+                    raise DecodeError(
+                        f"{self.name}: undefined opcode byte {first:#04x}"
+                    )
+                mnem = "store" if bits.bit(first, 3) else "load"
+                spec, ops = self.specs[mnem], (first & 0b11,)
+            else:
+                spec, ops = self.specs[_ALU_OPS[op] + "i"], (first & 0x0F,)
+        else:
+            op = bits.get_field(first, 5, 4)
+            if op == OP_TRANSFER or (first & 0b1100):
+                raise DecodeError(
+                    f"{self.name}: undefined opcode byte {first:#04x}"
+                )
+            spec, ops = self.specs[_ALU_OPS[op]], (first & 0b11,)
+        return DecodedInstruction(spec=spec, operands=ops, address=offset, raw=raw)

@@ -1,0 +1,412 @@
+"""The two-operand load-store ISA of the Section 6.2 operand study.
+
+Where the accumulator machines route every value through a single
+architectural register, the load-store machine treats the eight-word data
+memory as a register file (r0..r7) and encodes two operands per
+instruction.  Instructions are 16 bits wide -- which is exactly why, when
+the program-memory bus is restricted to FlexiCore's 8 bits, this ISA
+cannot fetch an instruction per cycle (Figure 13's "(Bus)" case).
+
+IO is performed with explicit ``in``/``out`` instructions (there is no
+memory to map ports onto once the memory *is* the register file).
+
+Encoding (16 bits, stored big-endian so the opcode arrives first on a
+byte-serial bus):
+
+=======================================  ===========================
+``0000 oooo 0rrr 0sss``                  R-type: rd op rs
+``01oo orrr iiiiiiii``                   I-type: rd op imm8
+``001n zprr r0tt ttttt`` (fields below)  branch: br nzp, rs, target
+``1000 0000 0ttt tttt``                  call target
+``1000 0001 00000000``                   ret
+``1000 0010 / 1000 0011``                nop / halt
+=======================================  ===========================
+
+The branch packs ``001 | nzp(3) | rs(3) | target(7)``.
+"""
+
+from repro.isa import bits
+from repro.isa.errors import DecodeError
+from repro.isa.model import (
+    ISA,
+    DecodedInstruction,
+    InstrClass,
+    InstructionSpec,
+    decode_helper,
+    imm_operand,
+    mask_operand,
+    reg_operand,
+    shamt_operand,
+    target_operand,
+)
+
+# R-type minor opcodes ([11:8] of the instruction word).
+_R_OPS = (
+    "add", "adc", "sub", "swb", "and", "or", "xor", "mov",
+    "xch", "mull", "mulh", "neg", "in", "out", "lsri", "asri",
+)
+# I-type minor opcodes ([13:11]).
+_I_OPS = ("movi", "addi", "andi", "ori", "xori", "adci")
+
+
+def _pack(hi, lo):
+    return bytes([hi & 0xFF, lo & 0xFF])
+
+
+class LoadStore(ISA):
+    """Two-operand load-store ISA with the revised operation set."""
+
+    name = "loadstore"
+    word_bits = 4
+    mem_words = 8  # the register file
+    pc_bits = 7
+    fetch_bits = 16
+    accumulator = False
+
+    def __init__(self, width=4):
+        self.word_bits = width
+        super().__init__()
+
+    def _define_instructions(self):
+        width = self.word_bits
+
+        # -- R-type -------------------------------------------------------
+        def r_encoder(minor):
+            def encode(ops):
+                rd = ops[0]
+                rs = ops[1] if len(ops) > 1 else 0
+                return _pack(minor, ((rd & 0b111) << 4) | (rs & 0b111))
+            return encode
+
+        def add_like(fn, set_carry=True):
+            def execute(state, operands):
+                rd, rs = operands
+                result, carry = fn(
+                    state.read_reg(rd), state.read_reg(rs), state, width
+                )
+                state.write_reg(rd, result)
+                if set_carry:
+                    state.carry = carry
+                state.advance_pc(2)
+            return execute
+
+        def logic_like(fn):
+            def execute(state, operands):
+                rd, rs = operands
+                state.write_reg(
+                    rd,
+                    fn(state.read_reg(rd), state.read_reg(rs)) & state.word_mask,
+                )
+                state.advance_pc(2)
+            return execute
+
+        r_semantics = {
+            "add": add_like(lambda a, b, s, w: bits.add_with_carry(a, b, 0, w)),
+            "adc": add_like(
+                lambda a, b, s, w: bits.add_with_carry(a, b, s.carry, w)
+            ),
+            "sub": add_like(self._sub_fn),
+            "swb": add_like(self._swb_fn),
+            "and": logic_like(lambda a, b: a & b),
+            "or": logic_like(lambda a, b: a | b),
+            "xor": logic_like(lambda a, b: a ^ b),
+            "mov": logic_like(lambda a, b: b),
+            "mull": logic_like(lambda a, b: a * b),
+            "mulh": logic_like(lambda a, b: (a * b) >> width),
+        }
+        r_operands = (reg_operand(self.mem_words, "rd"),
+                      reg_operand(self.mem_words, "rs"))
+        for minor, mnem in enumerate(_R_OPS):
+            if mnem in r_semantics:
+                self._add(InstructionSpec(
+                    mnemonic=mnem,
+                    operands=r_operands,
+                    size=2,
+                    encode_fn=r_encoder(minor),
+                    execute_fn=r_semantics[mnem],
+                    iclass=InstrClass.ALU if mnem != "mov"
+                    else InstrClass.MEMORY,
+                    description=f"rd <- rd {mnem} rs",
+                ))
+
+        def exec_xch(state, operands):
+            rd, rs = operands
+            a, b = state.read_reg(rd), state.read_reg(rs)
+            state.write_reg(rd, b)
+            state.write_reg(rs, a)
+            state.advance_pc(2)
+
+        self._add(InstructionSpec(
+            mnemonic="xch",
+            operands=r_operands,
+            size=2,
+            encode_fn=r_encoder(_R_OPS.index("xch")),
+            execute_fn=exec_xch,
+            iclass=InstrClass.MEMORY,
+            description="swap rd and rs",
+        ))
+
+        def exec_neg(state, operands):
+            state.write_reg(operands[0], -state.read_reg(operands[0]))
+            state.advance_pc(2)
+
+        self._add(InstructionSpec(
+            mnemonic="neg",
+            operands=(reg_operand(self.mem_words, "rd"),),
+            size=2,
+            encode_fn=r_encoder(_R_OPS.index("neg")),
+            execute_fn=exec_neg,
+            iclass=InstrClass.ALU,
+            description="rd <- -rd",
+        ))
+
+        def exec_in(state, operands):
+            state.io_reads += 1
+            state.write_reg(operands[0], state.read_input())
+            state.advance_pc(2)
+
+        def exec_out(state, operands):
+            state.write_output(state.read_reg(operands[0]))
+            state.advance_pc(2)
+
+        self._add(InstructionSpec(
+            mnemonic="in",
+            operands=(reg_operand(self.mem_words, "rd"),),
+            size=2,
+            encode_fn=r_encoder(_R_OPS.index("in")),
+            execute_fn=exec_in,
+            iclass=InstrClass.IO,
+            description="rd <- input bus",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="out",
+            operands=(reg_operand(self.mem_words, "rs"),),
+            size=2,
+            encode_fn=lambda ops: _pack(_R_OPS.index("out"), ops[0] & 0b111),
+            execute_fn=exec_out,
+            iclass=InstrClass.IO,
+            description="output bus <- rs",
+        ))
+
+        def exec_lsri(state, operands):
+            rd, shamt = operands
+            state.write_reg(rd, state.read_reg(rd) >> shamt)
+            state.advance_pc(2)
+
+        def exec_asri(state, operands):
+            rd, shamt = operands
+            signed = bits.sign_extend(state.read_reg(rd), width)
+            state.write_reg(rd, signed >> shamt)
+            state.advance_pc(2)
+
+        shift_operands = (reg_operand(self.mem_words, "rd"),
+                          shamt_operand(width - 1))
+        self._add(InstructionSpec(
+            mnemonic="lsri",
+            operands=shift_operands,
+            size=2,
+            encode_fn=r_encoder(_R_OPS.index("lsri")),
+            execute_fn=exec_lsri,
+            iclass=InstrClass.ALU,
+            description="rd <- rd >> shamt (logical)",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="asri",
+            operands=shift_operands,
+            size=2,
+            encode_fn=r_encoder(_R_OPS.index("asri")),
+            execute_fn=exec_asri,
+            iclass=InstrClass.ALU,
+            description="rd <- rd >> shamt (arithmetic)",
+        ))
+
+        # -- I-type --------------------------------------------------------
+        def i_encoder(minor):
+            def encode(ops):
+                rd, imm = ops
+                hi = 0b0100_0000 | (minor << 3) | (rd & 0b111)
+                return _pack(hi, bits.truncate(imm, 8))
+            return encode
+
+        def i_exec(fn, uses_carry=False, sets_carry=False):
+            def execute(state, operands):
+                rd, imm = operands
+                imm = bits.truncate(imm, width)
+                value = state.read_reg(rd)
+                result, carry = fn(value, imm, state.carry, width)
+                state.write_reg(rd, result)
+                if sets_carry:
+                    state.carry = carry
+                state.advance_pc(2)
+            return execute
+
+        i_semantics = {
+            "movi": (lambda a, b, c, w: (b, 0), False),
+            "addi": (lambda a, b, c, w: bits.add_with_carry(a, b, 0, w), True),
+            "andi": (lambda a, b, c, w: (a & b, 0), False),
+            "ori": (lambda a, b, c, w: (a | b, 0), False),
+            "xori": (lambda a, b, c, w: (a ^ b, 0), False),
+            "adci": (lambda a, b, c, w: bits.add_with_carry(a, b, c, w), True),
+        }
+        for minor, mnem in enumerate(_I_OPS):
+            fn, sets_carry = i_semantics[mnem]
+            self._add(InstructionSpec(
+                mnemonic=mnem,
+                operands=(reg_operand(self.mem_words, "rd"),
+                          imm_operand(name="imm8", width=8)),
+                size=2,
+                encode_fn=i_encoder(minor),
+                execute_fn=i_exec(fn, sets_carry=sets_carry),
+                iclass=InstrClass.ALU,
+                description=f"rd <- rd {mnem} imm",
+            ))
+
+        # -- branch / call / ret / misc -------------------------------------
+        def exec_br(state, operands):
+            nzp, rs, target = operands
+            value = state.read_reg(rs)
+            negative = bits.msb(value, width) == 1
+            zero = value == 0
+            positive = not negative and not zero
+            taken = bool(
+                ((nzp & 0b100) and negative)
+                or ((nzp & 0b010) and zero)
+                or ((nzp & 0b001) and positive)
+            )
+            if taken:
+                state.branch_to(target)
+            else:
+                state.advance_pc(2)
+
+        def br_encode(ops):
+            nzp, rs, target = ops
+            word = (0b001 << 13) | ((nzp & 0b111) << 10) \
+                | ((rs & 0b111) << 7) | (target & 0x7F)
+            return _pack(word >> 8, word & 0xFF)
+
+        self._add(InstructionSpec(
+            mnemonic="br",
+            operands=(mask_operand(), reg_operand(self.mem_words, "rs"),
+                      target_operand(self.pc_bits)),
+            size=2,
+            encode_fn=br_encode,
+            execute_fn=exec_br,
+            iclass=InstrClass.BRANCH,
+            description="branch on nzp condition of rs",
+        ))
+
+        def exec_call(state, operands):
+            state.retaddr = (state.pc + 2) & state.pc_mask
+            state.branch_to(operands[0])
+
+        self._add(InstructionSpec(
+            mnemonic="call",
+            operands=(target_operand(self.pc_bits),),
+            size=2,
+            encode_fn=lambda ops: _pack(0b1000_0000, ops[0] & 0x7F),
+            execute_fn=exec_call,
+            iclass=InstrClass.CONTROL,
+            description="retaddr <- PC+2; PC <- target",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="ret",
+            operands=(),
+            size=2,
+            encode_fn=lambda ops: _pack(0b1000_0001, 0),
+            execute_fn=lambda s, o: s.branch_to(s.retaddr),
+            iclass=InstrClass.CONTROL,
+            description="PC <- retaddr",
+        ))
+        self._add(InstructionSpec(
+            mnemonic="nop",
+            operands=(),
+            size=2,
+            encode_fn=lambda ops: _pack(0b1000_0010, 0),
+            execute_fn=lambda s, o: s.advance_pc(2),
+            iclass=InstrClass.CONTROL,
+            description="no operation",
+        ))
+
+        def exec_halt(state, operands):
+            state.halted = True
+            state.advance_pc(2)
+
+        self._add(InstructionSpec(
+            mnemonic="halt",
+            operands=(),
+            size=2,
+            encode_fn=lambda ops: _pack(0b1000_0011, 0),
+            execute_fn=exec_halt,
+            iclass=InstrClass.CONTROL,
+            description="stop the simulator (test convenience)",
+        ))
+
+    # -- carry-style helpers --------------------------------------------
+
+    @staticmethod
+    def _sub_fn(a, b, state, width):
+        result, borrow = bits.sub_with_borrow(a, b, 0, width)
+        return result, 1 - borrow
+
+    @staticmethod
+    def _swb_fn(a, b, state, width):
+        result, borrow = bits.sub_with_borrow(a, b, 1 - state.carry, width)
+        return result, 1 - borrow
+
+    # ------------------------------------------------------------------
+
+    def decode(self, code, offset=0):
+        raw = decode_helper(code, offset, 2, self.name)
+        hi, lo = raw[0], raw[1]
+        word = (hi << 8) | lo
+
+        def make(mnem, *ops):
+            if mnem not in self.specs:
+                raise DecodeError(f"{self.name}: {mnem} not enabled")
+            return DecodedInstruction(
+                spec=self.specs[mnem], operands=tuple(ops),
+                address=offset, raw=raw,
+            )
+
+        top = hi >> 6
+        if top == 0b00 and not (hi & 0b0010_0000):
+            if hi & 0b0001_0000:
+                raise DecodeError(
+                    f"{self.name}: undefined instruction {word:#06x}"
+                )
+            minor = hi & 0x0F
+            mnem = _R_OPS[minor]
+            rd = bits.get_field(lo, 6, 4)
+            rs = bits.get_field(lo, 2, 0)
+            if mnem in ("neg", "in"):
+                return make(mnem, rd)
+            if mnem == "out":
+                return make(mnem, rs)
+            if mnem in ("lsri", "asri"):
+                if not 1 <= rs <= self.word_bits - 1:
+                    raise DecodeError(f"{self.name}: bad shamt {rs}")
+                return make(mnem, rd, rs)
+            return make(mnem, rd, rs)
+        if top == 0b01:
+            minor = bits.get_field(hi, 5, 3)
+            if minor >= len(_I_OPS):
+                raise DecodeError(
+                    f"{self.name}: undefined I-type minor {minor}"
+                )
+            return make(_I_OPS[minor], hi & 0b111, lo)
+        if (hi >> 5) == 0b001:
+            nzp = bits.get_field(word, 12, 10)
+            rs = bits.get_field(word, 9, 7)
+            target = word & 0x7F
+            if nzp == 0:
+                raise DecodeError(f"{self.name}: branch-never {word:#06x}")
+            return make("br", nzp, rs, target)
+        if hi == 0b1000_0000:
+            return make("call", lo & 0x7F)
+        if hi == 0b1000_0001:
+            return make("ret")
+        if hi == 0b1000_0010:
+            return make("nop")
+        if hi == 0b1000_0011:
+            return make("halt")
+        raise DecodeError(f"{self.name}: undefined instruction {word:#06x}")

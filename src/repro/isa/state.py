@@ -1,0 +1,152 @@
+"""Architectural state of a FlexiCore-family core.
+
+The state object is deliberately ISA-agnostic: it carries the union of the
+architectural state used by any of the ISAs in this package (accumulator,
+carry flag, return-address register, data memory / register file).  Each
+ISA's semantic functions only touch the parts its specification defines.
+
+IO is memory-mapped in the accumulator ISAs (IPORT at data address 0,
+OPORT at data address 1 -- Section 3.3) and instruction-based in the
+load-store ISA.  Both paths funnel through :meth:`read_input` /
+:meth:`write_output`, which delegate to pluggable callables so simulators
+can attach arbitrary peripherals.
+"""
+
+from repro.isa import bits
+
+#: Data-memory address that reads from the input bus (Section 3.3).
+IPORT_ADDR = 0
+#: Data-memory address that writes to the output bus (Section 3.3).
+OPORT_ADDR = 1
+
+
+class CoreState:
+    """Architectural state for one core.
+
+    Parameters
+    ----------
+    width:
+        Datapath width in bits (4 or 8).
+    mem_words:
+        Number of data-memory words (8 for FlexiCore4, 4 for FlexiCore8,
+        16 with the doubled-memory DSE feature; 8 registers for the
+        load-store ISA).
+    pc_bits:
+        Width of the program counter (7 in every fabricated FlexiCore).
+    """
+
+    def __init__(self, width=4, mem_words=8, pc_bits=7):
+        self.width = width
+        self.mem_words = mem_words
+        self.pc_bits = pc_bits
+        self.acc = 0
+        self.pc = 0
+        self.carry = 0
+        self.retaddr = 0
+        self.mem = [0] * mem_words
+        self.halted = False
+        #: Stateful 'load byte' decoder flag of FlexiCore8 (Section 3.4).
+        self.load_byte_pending = False
+        # IO hooks; replaced by the simulator when peripherals are attached.
+        self.input_fn = lambda: 0
+        self.output_fn = lambda value: None
+        # Lightweight counters the semantics update; the simulator owns
+        # richer statistics.
+        self.io_reads = 0
+        self.io_writes = 0
+
+    # ------------------------------------------------------------------
+    # Register/memory access helpers used by semantic functions.
+    # ------------------------------------------------------------------
+
+    @property
+    def word_mask(self):
+        return bits.mask(self.width)
+
+    @property
+    def pc_mask(self):
+        return bits.mask(self.pc_bits)
+
+    def set_acc(self, value):
+        self.acc = value & self.word_mask
+
+    def acc_negative(self):
+        """MSB of the accumulator -- the base ISA's branch condition."""
+        return bits.msb(self.acc, self.width) == 1
+
+    def acc_zero(self):
+        return self.acc == 0
+
+    def read_mem(self, addr):
+        """Read data memory; address 0 is the memory-mapped input port."""
+        addr %= self.mem_words
+        if addr == IPORT_ADDR:
+            self.io_reads += 1
+            return self.read_input()
+        return self.mem[addr]
+
+    def write_mem(self, addr, value):
+        """Write data memory; address 1 is the memory-mapped output port.
+
+        The OPORT register is also backed by memory word 1 so software can
+        read back the last value it emitted.  Writes to the IPORT address
+        update the backing word but are never observable through reads
+        (reads of address 0 always sample the input bus).
+        """
+        addr %= self.mem_words
+        value &= self.word_mask
+        self.mem[addr] = value
+        if addr == OPORT_ADDR:
+            self.write_output(value)
+
+    # Register-file view used by the load-store ISA: plain words with no
+    # memory-mapped IO (that ISA has explicit IN/OUT instructions).
+    def read_reg(self, index):
+        return self.mem[index % self.mem_words]
+
+    def write_reg(self, index, value):
+        self.mem[index % self.mem_words] = value & self.word_mask
+
+    def read_input(self):
+        return self.input_fn() & self.word_mask
+
+    def write_output(self, value):
+        self.io_writes += 1
+        self.output_fn(value & self.word_mask)
+
+    # ------------------------------------------------------------------
+
+    def advance_pc(self, amount=1):
+        self.pc = (self.pc + amount) & self.pc_mask
+
+    def branch_to(self, target):
+        self.pc = target & self.pc_mask
+
+    def reset(self):
+        """Return the core to its power-on state (memory cleared)."""
+        self.acc = 0
+        self.pc = 0
+        self.carry = 0
+        self.retaddr = 0
+        self.mem = [0] * self.mem_words
+        self.halted = False
+        self.load_byte_pending = False
+        self.io_reads = 0
+        self.io_writes = 0
+
+    def snapshot(self):
+        """Immutable summary of the state, handy for tests and tracing."""
+        return {
+            "acc": self.acc,
+            "pc": self.pc,
+            "carry": self.carry,
+            "retaddr": self.retaddr,
+            "mem": tuple(self.mem),
+            "halted": self.halted,
+        }
+
+    def __repr__(self):
+        return (
+            f"CoreState(width={self.width}, pc={self.pc:#04x}, "
+            f"acc={self.acc:#x}, carry={self.carry}, mem={self.mem})"
+        )

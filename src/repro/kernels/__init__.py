@@ -1,0 +1,13 @@
+"""The Table 6 benchmark kernels and their assembly infrastructure."""
+
+from repro.kernels.kernel import Kernel, Target
+from repro.kernels.macros import T0, T1, build_library, loadstore_library
+
+__all__ = [
+    "Kernel",
+    "T0",
+    "T1",
+    "Target",
+    "build_library",
+    "loadstore_library",
+]

@@ -1,0 +1,269 @@
+"""Calculator kernel (Table 6): interactive four-function calculator.
+
+"Performs multiplication, division, addition, or subtraction of two
+inputs.  Multiplication performs a 4 bit x 4 bit multiplication producing
+an 8 bit output.  Division produces the quotient and remainder of a 4 bit
+dividend and a 4 bit (non-zero) divisor.  Addition (subtraction) generates
+a 4-bit sum (difference) with overflow (underflow)" (Section 5.1).
+
+Transaction: read operation (0=add, 1=sub, 2=mul, 3=div), operand a,
+operand b; emit two outputs:
+
+=====  ======================  =====================
+ op     first output            second output
+=====  ======================  =====================
+ add    (a+b) mod 16            carry (0/1)
+ sub    (a-b) mod 16            borrow (0/1)
+ mul    product low nibble      product high nibble
+ div    quotient                remainder
+=====  ======================  =====================
+
+This is the big multi-page kernel: the main dispatch lives in page 0,
+multiplication in page 1 and division in page 2, all glued together by
+the off-chip MMU (Section 5.1).  The output alphabet makes a spurious
+three-in-a-row MMU sentinel impossible (see :mod:`repro.sim.mmu`).
+"""
+
+from repro.kernels.kernel import Kernel
+
+OP_ADD, OP_SUB, OP_MUL, OP_DIV = range(4)
+
+
+def build(target):
+    if target.isa.has("mull"):
+        mul_body = """\
+do_mul:
+    load A
+    mull B                      ; hardware multiplier, low nibble
+    store 1
+    load A
+    mulh B                      ; high nibble
+    store 1
+    %farjump 0, loop"""
+    else:
+        mul_body = """\
+do_mul:
+    ; (HI:LO) = A * B by repeated double-word addition of A, B times.
+    %ldi 0
+    store LO
+    store HI
+mul_loop:
+    load B
+    %brz mul_done
+    %dec B
+    %add2w LO, HI, A
+    %jump mul_loop
+mul_done:
+    load LO
+    store 1
+    load HI
+    store 1
+    %farjump 0, loop"""
+    return f"""
+; Four-function calculator.  A=2, B=3; mul uses LO=4 HI=5; div uses Q=5.
+.equ A 2
+.equ B 3
+.equ LO 4
+.equ HI 5
+.equ Q 5
+loop:
+    load 0
+    store 4                     ; op (slot 4 is free until mul/div start)
+    load 0
+    store A
+    load 0
+    store B
+    load 4
+    %brz do_add
+    load 4
+    %subi 1
+    %brz do_sub
+    load 4
+    %subi 2
+    %brz go_mul
+    %farjump 2, do_div
+go_mul:
+    %farjump 1, do_mul
+
+do_add:
+    load A
+    add B
+    store 1                     ; sum
+    %bltu_m B, add_carry        ; sum < b  <=>  carry out
+    %ldi 0
+    store 1
+    %jump loop
+add_carry:
+    %ldi 1
+    store 1
+    %jump loop
+
+do_sub:
+    load A
+    %sub_m B
+    store 1                     ; difference
+    load A
+    %bltu_m B, sub_borrow       ; a < b  <=>  borrow
+    %ldi 0
+    store 1
+    %jump loop
+sub_borrow:
+    %ldi 1
+    store 1
+    %jump loop
+
+.page 1
+{mul_body}
+
+.page 2
+do_div:
+    ; Q = A / B, remainder left in A (B is non-zero by contract).
+    %ldi 0
+    store Q
+div_loop:
+    load A
+    %bltu_m B, div_done         ; remainder < divisor: finished
+    load A
+    %sub_m B
+    store A
+    %inc Q
+    %jump div_loop
+div_done:
+    load Q
+    store 1
+    load A
+    store 1
+    %farjump 0, loop
+"""
+
+
+def build_loadstore(target):
+    return """
+; Four-function calculator (load-store).
+; r1=op r2=a r3=b r4=scratch r5=result/counter r6=farjump scratch.
+loop:
+    in r1
+    in r2
+    in r3
+    br z, r1, do_add
+    addi r1, 15
+    br z, r1, do_sub
+    addi r1, 15
+    br z, r1, go_mul
+    %farjump 2, do_div
+go_mul:
+    %farjump 1, do_mul
+
+do_add:
+    add r2, r3                  ; sets carry
+    movi r4, 0
+    adci r4, 0                  ; r4 = carry
+    out r2
+    out r4
+    br nzp, r0, loop
+
+do_sub:
+    sub r2, r3                  ; carry = NOT borrow
+    movi r4, 0
+    adci r4, 0
+    xori r4, 1                  ; r4 = borrow
+    out r2
+    out r4
+    br nzp, r0, loop
+
+.page 1
+do_mul:
+    ; (r5:r4) = a * b by repeated double-word addition.
+    movi r4, 0
+    movi r5, 0
+mul_loop:
+    br z, r3, mul_done
+    addi r3, 15
+    add r4, r2                  ; low += a, sets carry
+    adci r5, 0                  ; high += carry
+    br nzp, r0, mul_loop
+mul_done:
+    out r4
+    out r5
+    %farjump 0, loop
+
+.page 2
+do_div:
+    ; r5 = a / b, remainder in r2.  Unsigned compare via MSB partition.
+    movi r5, 0
+div_loop:
+    mov r4, r2
+    xor r4, r3
+    br n, r4, div_msb_differ
+    mov r4, r2                  ; same MSB: signed subtract is exact
+    sub r4, r3
+    br n, r4, div_done          ; r2 < r3
+    br nzp, r0, div_step
+div_msb_differ:
+    br n, r3, div_done          ; divisor holds the MSB: r2 < r3
+div_step:
+    sub r2, r3
+    addi r5, 1
+    br nzp, r0, div_loop
+div_done:
+    out r5
+    out r2
+    %farjump 0, loop
+"""
+
+
+def reference(inputs):
+    if len(inputs) % 3:
+        raise ValueError("calculator consumes (op, a, b) triples")
+    outputs = []
+    for i in range(0, len(inputs), 3):
+        op, a, b = (value & 0xF for value in inputs[i:i + 3])
+        op &= 0x3
+        if op == OP_ADD:
+            total = a + b
+            outputs += [total & 0xF, total >> 4]
+        elif op == OP_SUB:
+            outputs += [(a - b) & 0xF, 1 if a < b else 0]
+        elif op == OP_MUL:
+            product = a * b
+            outputs += [product & 0xF, product >> 4]
+        else:
+            if b == 0:
+                raise ValueError("division by zero in calculator input")
+            outputs += [a // b, a % b]
+    return outputs
+
+
+def gen_inputs(rng, transactions):
+    samples = []
+    for _ in range(transactions):
+        op = int(rng.integers(0, 4))
+        a = int(rng.integers(0, 16))
+        b = int(rng.integers(1, 16)) if op == OP_DIV \
+            else int(rng.integers(0, 16))
+        samples += [op, a, b]
+    return samples
+
+
+def gen_inputs_op(op, rng, transactions):
+    """Inputs restricted to one operation (Figure 8 reports the Calculator
+    multiplication and division subroutines separately)."""
+    samples = []
+    for _ in range(transactions):
+        a = int(rng.integers(0, 16))
+        b = int(rng.integers(1, 16)) if op == OP_DIV \
+            else int(rng.integers(0, 16))
+        samples += [op, a, b]
+    return samples
+
+
+KERNEL = Kernel(
+    name="Calculator",
+    app_type="Interactive",
+    description="Four-function calculator (add/sub/mul/div) over the MMU",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=3,
+)

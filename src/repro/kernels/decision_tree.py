@@ -1,0 +1,241 @@
+"""Decision Tree kernel (Table 6): depth-4 inference, 3 features.
+
+"Performs inference on a randomly generated depth-four decision tree --
+such decision trees are suitable for several of the inference applications
+found in Table 1" (Section 5.1).  The tree is generated once from a fixed
+seed and compiled into a compare-and-branch cascade; the Python reference
+walks the identical structure.
+
+Per transaction the kernel reads the three 4-bit feature values, walks the
+tree, and outputs the 3-bit class label of the leaf.  Class labels are
+kept below 8 so the output stream can never contain the MMU sentinel --
+the code spans two program pages (the root's left subtree in page 0, the
+right subtree in page 1).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.kernel import Kernel
+
+#: Tree shape per Table 6.
+DEPTH = 4
+FEATURES = 3
+#: Seed fixing the random tree shared by the kernel and its reference.
+TREE_SEED = 0x51CA
+
+
+@dataclass
+class Node:
+    """Internal node: go left when feature < threshold (unsigned).
+    Leaves carry a class label and no children."""
+
+    feature: Optional[int] = None
+    threshold: Optional[int] = None
+    left: Optional["Node"] = None
+    right: Optional["Node"] = None
+    label: Optional[int] = None
+
+    @property
+    def is_leaf(self):
+        return self.label is not None
+
+
+def generate_tree(seed=TREE_SEED, depth=DEPTH, features=FEATURES):
+    """Deterministically generate a complete depth-``depth`` tree."""
+    rng = np.random.default_rng(seed)
+
+    def build_node(level):
+        if level == depth:
+            return Node(label=int(rng.integers(0, 8)))
+        return Node(
+            feature=int(rng.integers(0, features)),
+            threshold=int(rng.integers(1, 16)),
+            left=build_node(level + 1),
+            right=build_node(level + 1),
+        )
+
+    return build_node(0)
+
+
+def classify(tree, feature_values):
+    """Golden-model walk of the tree."""
+    node = tree
+    while not node.is_leaf:
+        value = feature_values[node.feature] & 0xF
+        node = node.left if value < node.threshold else node.right
+    return node.label
+
+
+# ----------------------------------------------------------------------
+# Accumulator-ISA code generation.
+#
+# Page budget: the whole tree exceeds one 128-byte page on the base ISA,
+# so the root's comparison lives in page 0 and each depth-1 subtree gets
+# its own page (leaves return to the read loop through a shared far-jump
+# stub, one per page).
+# ----------------------------------------------------------------------
+
+_ACC_CUT_DEPTH = 1
+
+
+def _emit_acc(node, path, return_macro, lines):
+    lines.append(f"n{path}:")
+    if node.is_leaf:
+        lines.append(f"    %ldi {node.label}")
+        lines.append("    store 1")
+        lines.append(f"    {return_macro}")
+        return
+    lines.append(f"    load {2 + node.feature}")
+    lines.append(f"    %bltu_i {node.threshold}, n{path}L")
+    lines.append(f"    %jump n{path}R")
+    _emit_acc(node.right, path + "R", return_macro, lines)
+    _emit_acc(node.left, path + "L", return_macro, lines)
+
+
+def build(target):
+    tree = generate_tree()
+    lines = [
+        "; Decision tree inference: depth 4, 3 features, classes 0..7.",
+        ".equ F0 2",
+        ".equ F1 3",
+        ".equ F2 4",
+        "loop:",
+        "    load 0",
+        "    store F0",
+        "    load 0",
+        "    store F1",
+        "    load 0",
+        "    store F2",
+    ]
+    subtrees = []
+
+    def dispatch(node, path, depth):
+        if node.is_leaf or depth == _ACC_CUT_DEPTH:
+            page = 1 + len(subtrees)
+            subtrees.append((page, node, path))
+            lines.append(f"    %farjump {page}, n{path}")
+            return
+        lines.append(f"    load {2 + node.feature}")
+        lines.append(f"    %bltu_i {node.threshold}, d{path}L")
+        dispatch(node.right, path + "R", depth + 1)
+        lines.append(f"d{path}L:")
+        dispatch(node.left, path + "L", depth + 1)
+
+    dispatch(tree, "", 0)
+    for page, node, path in subtrees:
+        lines.append(f".page {page}")
+        _emit_acc(node, path, f"%jump ret{page}", lines)
+        lines.append(f"ret{page}:")
+        lines.append("    %farjump 0, loop")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Load-store-ISA code generation.
+# ----------------------------------------------------------------------
+
+def _emit_ls_compare(reg, threshold, less_target, geq_target, tag, lines):
+    """Unsigned ``reg < threshold`` on the load-store machine.
+
+    MSB partition, specialized on the constant threshold (r4 scratch).
+    """
+    if threshold <= 8:
+        lines.append(f"    br n, {reg}, {geq_target}")  # reg >= 8 >= t
+        lines.append(f"    mov r4, {reg}")
+        lines.append(f"    addi r4, {-threshold & 0xF}")
+        lines.append(f"    br n, r4, {less_target}")
+        lines.append(f"    br nzp, r0, {geq_target}")
+    else:
+        lines.append(f"    br n, {reg}, {tag}_hi")
+        lines.append(f"    br nzp, r0, {less_target}")  # reg < 8 < t
+        lines.append(f"{tag}_hi:")
+        lines.append(f"    mov r4, {reg}")
+        lines.append(f"    addi r4, {-threshold & 0xF}")
+        lines.append(f"    br n, r4, {less_target}")
+        lines.append(f"    br nzp, r0, {geq_target}")
+
+
+_LS_CUT_DEPTH = 2  # 16-bit instructions: only 64 fit in a page
+
+
+def _emit_ls(node, path, return_jump, lines):
+    lines.append(f"n{path}:")
+    if node.is_leaf:
+        lines.append(f"    movi r5, {node.label}")
+        lines.append("    out r5")
+        lines.append(f"    {return_jump}")
+        return
+    reg = f"r{1 + node.feature}"
+    _emit_ls_compare(
+        reg, node.threshold, f"n{path}L", f"n{path}Rx", f"n{path}", lines
+    )
+    _emit_ls(node.right, path + "Rx", return_jump, lines)
+    _emit_ls(node.left, path + "L", return_jump, lines)
+
+
+def build_loadstore(target):
+    tree = generate_tree()
+    lines = [
+        "; Decision tree (load-store): features r1-r3, scratch r4/r5.",
+        "loop:",
+        "    in r1",
+        "    in r2",
+        "    in r3",
+    ]
+    subtrees = []
+
+    def dispatch(node, path, depth):
+        if node.is_leaf or depth == _LS_CUT_DEPTH:
+            page = 1 + len(subtrees)
+            subtrees.append((page, node, path))
+            lines.append(f"go{path}:")
+            lines.append(f"    %farjump {page}, n{path}")
+            return
+        reg = f"r{1 + node.feature}"
+        _emit_ls_compare(
+            reg, node.threshold, f"d{path}L", f"d{path}R", f"d{path}", lines
+        )
+        lines.append(f"d{path}R:")
+        dispatch(node.right, path + "R", depth + 1)
+        lines.append(f"d{path}L:")
+        dispatch(node.left, path + "L", depth + 1)
+
+    dispatch(tree, "", 0)
+    for page, node, path in subtrees:
+        lines.append(f".page {page}")
+        _emit_ls(node, path, f"br nzp, r0, ret{page}", lines)
+        lines.append(f"ret{page}:")
+        lines.append("    %farjump 0, loop")
+    return "\n".join(lines)
+
+
+def reference(inputs):
+    if len(inputs) % FEATURES:
+        raise ValueError("decision tree consumes feature triples")
+    tree = generate_tree()
+    outputs = []
+    for i in range(0, len(inputs), FEATURES):
+        outputs.append(classify(tree, inputs[i:i + FEATURES]))
+    return outputs
+
+
+def gen_inputs(rng, transactions):
+    samples = []
+    for _ in range(transactions):
+        samples += [int(rng.integers(0, 16)) for _ in range(FEATURES)]
+    return samples
+
+
+KERNEL = Kernel(
+    name="Decision Tree",
+    app_type="Reactive",
+    description="Depth-4 decision-tree inference over 3 features",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=FEATURES,
+)

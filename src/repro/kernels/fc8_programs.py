@@ -1,0 +1,151 @@
+"""Native FlexiCore8 demonstration programs.
+
+The Table 6 suite targets the 4-bit cores (as the paper's Figure 8
+does); these programs exercise FlexiCore8's distinguishing features --
+the 8-bit datapath, the 4-word memory, and the two-byte LOAD BYTE
+instruction -- with golden models, rounding out the 8-bit core's
+software story.
+"""
+
+from repro.asm import assemble
+from repro.isa import bits, get_isa
+
+
+def isa():
+    return get_isa("flexicore8")
+
+
+# ----------------------------------------------------------------------
+
+PARITY8_SOURCE = """
+; Even parity of each full input byte, in one read per word.
+.equ V 2
+.equ F 3
+loop:
+    load 0          ; whole octet at once -- no nibble pairing
+    store V
+    nandi 0
+    xori 15         ; acc <- 0x00 (ldb would also do; this is 2 bytes too)
+    store F
+"""
+# Peel all eight bits through the MSB.
+for _bit in range(8):
+    PARITY8_SOURCE += f"""
+    load V
+    brn set_{_bit}
+    nandi 0
+    brn done_{_bit}
+set_{_bit}:
+    load F
+    xori 1
+    store F
+done_{_bit}:
+"""
+    if _bit != 7:
+        PARITY8_SOURCE += """
+    load V
+    add V
+    store V
+"""
+PARITY8_SOURCE += """
+    load F
+    store 1
+    nandi 0
+    brn loop
+"""
+
+
+def parity8_program():
+    return assemble(PARITY8_SOURCE, isa(), source_name="parity8")
+
+
+def parity8_reference(inputs):
+    return [bits.parity(value & 0xFF) for value in inputs]
+
+
+# ----------------------------------------------------------------------
+
+def checksum_source():
+    """Running mod-256 checksum with an LDB-loaded initial value --
+    a byte-stream integrity check (the EDC use case of Table 1)."""
+    return """
+.equ SUM 2
+    ldb 0xA5        ; LOAD BYTE: the FlexiCore8-only instruction
+    store SUM
+loop:
+    load 0
+    add SUM
+    store SUM
+    store 1
+    nandi 0
+    brn loop
+"""
+
+
+def checksum_program():
+    return assemble(checksum_source(), isa(), source_name="checksum8")
+
+
+def checksum_reference(inputs, seed=0xA5):
+    total = seed
+    outputs = []
+    for value in inputs:
+        total = (total + (value & 0xFF)) & 0xFF
+        outputs.append(total)
+    return outputs
+
+
+# ----------------------------------------------------------------------
+
+def scale_clip_source():
+    """Sensor conditioning: y = min(x + bias, limit) on full octets.
+
+    Exercises LOAD BYTE for both constants and the MSB-partition
+    unsigned compare at 8-bit width.
+    """
+    return """
+.equ X 2
+.equ LIM 3
+    ldb 0xC8        ; limit = 200, via LOAD BYTE
+    store LIM
+loop:
+    load 0
+    addi 7          ; bias
+    store X
+    ; unsigned compare X vs LIM: MSB partition, then exact signed diff.
+    ; Note 'nandi 15' is a full 8-bit NOT: the imm4 sign-extends to 0xFF.
+    xor LIM
+    brn msb_differ
+    load X
+    nandi 15
+    add LIM
+    nandi 15        ; acc = X - LIM (same-MSB: no overflow)
+    brn no_clip     ; negative -> X < LIM
+emit_lim:
+    load LIM
+    store 1
+    nandi 0
+    brn loop
+msb_differ:
+    load LIM
+    brn no_clip     ; LIM holds the MSB -> X < LIM
+    nandi 0
+    brn emit_lim    ; X holds the MSB -> X > LIM -> clip
+no_clip:
+    load X
+    store 1
+    nandi 0
+    brn loop
+"""
+
+
+def scale_clip_program():
+    return assemble(scale_clip_source(), isa(), source_name="scale_clip8")
+
+
+def scale_clip_reference(inputs, bias=7, limit=0xC8):
+    outputs = []
+    for value in inputs:
+        y = (value + bias) & 0xFF
+        outputs.append(min(y, limit))
+    return outputs

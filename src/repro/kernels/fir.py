@@ -1,0 +1,194 @@
+"""Four-tap FIR kernel (Table 6).
+
+Applies a {-1,+1}-coefficient FIR filter to an input stream (Section 5.1:
+"filter coefficients are in {-1, 1}"); with [+1, -1, +1, -1] this is a
+high-pass edge detector.  Samples are signed 4-bit values, and the
+accumulation *saturates* at the datapath limits -- the overflow checks are
+what make this kernel non-trivial on a machine without flags: every tap
+costs a sign-partition dance on the base ISA and collapses to a couple of
+instructions with the Section 6.1 extensions.
+
+One output (the saturated filter value, two's complement) per input.
+"""
+
+from repro.isa import bits
+from repro.kernels.kernel import Kernel
+
+#: Default filter coefficients, newest sample first (a high-pass edge
+#: detector).  Any length-4 vector over {-1, +1} is supported via
+#: :func:`make_kernel`.
+COEFFS = (1, -1, 1, -1)
+
+
+def _check_coeffs(coeffs):
+    coeffs = tuple(coeffs)
+    if len(coeffs) != 4 or any(c not in (-1, 1) for c in coeffs):
+        raise ValueError(
+            f"coefficients must be four values in {{-1, +1}}, "
+            f"got {coeffs}"
+        )
+    return coeffs
+
+
+def build(target, coeffs=COEFFS):
+    coeffs = _check_coeffs(coeffs)
+    if target.isa.has("xch"):
+        # The exchange instruction ripples the delay line through the
+        # accumulator: 5 instructions instead of 8.
+        aging = """\
+    load 0                      ; newest sample
+    xch X0
+    xch X1
+    xch X2
+    store X3"""
+    else:
+        aging = """\
+    load X2
+    store X3                    ; age the delay line
+    load X1
+    store X2
+    load X0
+    store X1
+    load 0
+    store X0                    ; newest sample"""
+    taps = ["    load X0"]
+    if coeffs[0] == -1:
+        taps.append("    %negate")
+    for index, coeff in enumerate(coeffs[1:], start=1):
+        macro = "%satadd_m" if coeff == 1 else "%satsub_m"
+        taps.append(f"    {macro} X{index}")
+    tap_lines = "\n".join(taps)
+    return f"""
+; Four-tap FIR, coefficients {list(coeffs)}, saturating accumulate.
+.equ X0 2
+.equ X1 3
+.equ X2 4
+.equ X3 5
+    %ldi 0
+    store X0
+    store X1
+    store X2
+    store X3
+loop:
+{aging}
+{tap_lines}
+    store 1
+    %jump loop
+    %emit_pool
+"""
+
+
+def _ls_sat_op(tag, op, operand_reg):
+    """Emit load-store lines for ``r5 = sat(r5 op r<operand_reg>)``.
+
+    r6 is scratch, r7 holds the pre-op accumulator (whose sign chooses the
+    saturation rail).  For addition, overflow is only possible when the
+    operand signs match; for subtraction, when they differ.
+    """
+    assert op in ("add", "sub")
+    check, safe = f"{tag}_check", f"{tag}_safe"
+    ovf, neg, done = f"{tag}_ovf", f"{tag}_neg", f"{tag}_done"
+    danger_mask = "zp" if op == "add" else "n"  # sign-xor that can overflow
+    return [
+        "    mov r7, r5",
+        "    mov r6, r5",
+        f"    xor r6, {operand_reg}",
+        f"    br {danger_mask}, r6, {check}",
+        f"{safe}:",
+        f"    {op} r5, {operand_reg}",
+        f"    br nzp, r0, {done}",
+        f"{check}:",
+        f"    {op} r5, {operand_reg}",
+        "    mov r6, r5",
+        "    xor r6, r7",
+        f"    br zp, r6, {done}",        # result kept A's sign: no overflow
+        f"    br n, r7, {neg}",
+        "    movi r5, 7",                # A >= 0: clamp to +max
+        f"    br nzp, r0, {done}",
+        f"{neg}:",
+        "    movi r5, 8",                # A < 0: clamp to -max-1
+        f"{done}:",
+    ]
+
+
+def build_loadstore(target, coeffs=COEFFS):
+    """r1..r4 = delay line, r5 = accumulator, r6/r7 = scratch."""
+    coeffs = _check_coeffs(coeffs)
+    lines = [
+        f"; Four-tap FIR (load-store), coefficients {list(coeffs)}.",
+        "    movi r1, 0",
+        "    movi r2, 0",
+        "    movi r3, 0",
+        "    movi r4, 0",
+        "loop:",
+        "    mov r4, r3",
+        "    mov r3, r2",
+        "    mov r2, r1",
+        "    in r1",
+        "    mov r5, r1",
+    ]
+    if coeffs[0] == -1:
+        lines.append("    neg r5")
+    for index, coeff in enumerate(coeffs[1:], start=1):
+        op = "add" if coeff == 1 else "sub"
+        lines += _ls_sat_op(f"t{index}", op, f"r{index + 1}")
+    lines += [
+        "    out r5",
+        "    br nzp, r0, loop",
+    ]
+    return "\n".join(lines)
+
+
+def _sat(value, width=4):
+    hi = (1 << (width - 1)) - 1
+    lo = -(1 << (width - 1))
+    return max(lo, min(hi, value))
+
+
+def reference(inputs, coeffs=COEFFS):
+    coeffs = _check_coeffs(coeffs)
+    width = 4
+    history = [0, 0, 0, 0]
+    outputs = []
+    for sample in inputs:
+        history = [bits.sign_extend(sample, width)] + history[:3]
+        # The first tap is applied by (wrapping) negation, matching the
+        # hardware's two's-complement 'neg'; later taps saturate.
+        y = history[0]
+        if coeffs[0] == -1:
+            y = bits.sign_extend(-y, width)
+        for coeff, value in zip(coeffs[1:], history[1:]):
+            y = _sat(y + coeff * value, width)
+        outputs.append(y & 0xF)
+    return outputs
+
+
+def make_kernel(coeffs):
+    """A FIR kernel for any length-4 coefficient vector over {-1, +1}."""
+    coeffs = _check_coeffs(coeffs)
+    return Kernel(
+        name=f"FIR{list(coeffs)}",
+        app_type="Streaming",
+        description=f"Saturating 4-tap FIR with coefficients {coeffs}",
+        source_fn=lambda target: build(target, coeffs),
+        loadstore_source_fn=lambda target: build_loadstore(target, coeffs),
+        reference_fn=lambda inputs: reference(inputs, coeffs),
+        input_fn=gen_inputs,
+        inputs_per_transaction=1,
+    )
+
+
+def gen_inputs(rng, transactions):
+    return [int(rng.integers(0, 16)) for _ in range(transactions)]
+
+
+KERNEL = Kernel(
+    name="Four-tap FIR",
+    app_type="Streaming",
+    description="Saturating 4-tap FIR filter with +/-1 coefficients",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=1,
+)

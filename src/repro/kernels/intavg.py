@@ -1,0 +1,86 @@
+"""IntAvg kernel (Table 6): exponential smoothing.
+
+``y <- (x + y) / 2`` per input sample -- an autoregressive IIR low-pass
+filter used to de-noise sensor streams before thresholding (Section 5.1).
+The intermediate sum is five bits wide, so the kernel must recover the
+adder's carry (the base ISA has no carry flag: an unsigned compare does
+it) and feed it back into the right shift.  This is one of the two kernels
+the paper calls out as right-shift-bound, hence a large winner from the
+barrel-shifter extension (Figure 11).
+"""
+
+from repro.kernels.kernel import Kernel
+
+
+def build(target):
+    return """
+; IntAvg: y <- (x + y) >> 1 with 5-bit intermediate.
+.equ Y 2
+.equ X 3
+    %ldi 0
+    store Y
+loop:
+    load 0
+    store X
+    load Y
+    add X
+    store Y                     ; y' = (x + y) mod 16
+    %bltu_m X, carried          ; sum < x  <=>  the add carried out
+    load Y                      ; no carry
+    %lsr1
+    store Y
+    store 1
+    %jump loop
+carried:
+    load Y
+    %lsr1
+    addi 8                      ; re-insert the carry above the MSB
+    store Y
+    store 1
+    %jump loop
+    %emit_pool                  ; shared shift subroutine, if pooled
+"""
+
+
+def build_loadstore(target):
+    return """
+; IntAvg (load-store): r1 = y, r2 = sample/sum, r3 = carry.
+    movi r1, 0
+loop:
+    in r2
+    add r2, r1                  ; r2 = x + y, sets carry
+    movi r3, 0
+    adci r3, 0                  ; r3 = carry out of the add
+    lsri r2, 1
+    br z, r3, nocarry
+    addi r2, 8
+nocarry:
+    mov r1, r2
+    out r1
+    br nzp, r0, loop
+"""
+
+
+def reference(inputs):
+    y = 0
+    outputs = []
+    for sample in inputs:
+        y = ((sample & 0xF) + y) >> 1
+        outputs.append(y)
+    return outputs
+
+
+def gen_inputs(rng, transactions):
+    return [int(rng.integers(0, 16)) for _ in range(transactions)]
+
+
+KERNEL = Kernel(
+    name="IntAvg",
+    app_type="Streaming",
+    description="Exponential smoothing (IIR low-pass) of an input stream",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=1,
+)

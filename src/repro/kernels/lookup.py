@@ -1,0 +1,135 @@
+"""Lookup kernel: the POS / Smart Label workload (extra, beyond Table 6).
+
+Table 1's Point-of-Sale Computation and Smart Labels "require the
+ability to efficiently look up data stored in a simple database or other
+data structure" (Section 3.2).  This kernel is that database: a 16-entry
+key->value table compiled into program pages, searched by key.
+
+On the base ISA the table is a compare/branch ladder; with the branch
+flags extension each probe collapses to a subtract + ``br z``.  The
+table spans two program pages on the base ISA, exercising the MMU on a
+read-mostly workload.  Values are kept below 8 (like the decision-tree
+labels) so the output alphabet can never arm the MMU.
+"""
+
+import numpy as np
+
+from repro.kernels.kernel import Kernel
+
+#: Database size (4-bit keys, 3-bit values).
+TABLE_SIZE = 16
+TABLE_SEED = 0xD0DB
+
+
+def generate_table(seed=TABLE_SEED):
+    """Deterministic key->value table shared by kernel and reference."""
+    rng = np.random.default_rng(seed)
+    return {key: int(rng.integers(0, 8)) for key in range(TABLE_SIZE)}
+
+
+def build(target):
+    table = generate_table()
+    has_flags = target.isa.has("br")
+    lines = [
+        "; Key/value lookup: 16-entry database in program memory.",
+        ".equ KEY 2",
+        "loop:",
+        "    load 0",
+        "    store KEY",
+    ]
+
+    def emit_entry(key, value, page):
+        ret = "%jump loop" if page == 0 else f"%jump ret{page}"
+        if has_flags:
+            lines.append(f"    load KEY")
+            lines.append(f"    %subi {key}")
+            lines.append(f"    br np, skip_{key}")
+            lines.append(f"    %ldi {value}")
+            lines.append("    store 1")
+            lines.append(f"    {ret}")
+            lines.append(f"skip_{key}:")
+        else:
+            lines.append(f"    load KEY")
+            lines.append(f"    xori {key}")       # zero iff match
+            lines.append(f"    %brnz skip_{key}")
+            lines.append(f"    %ldi {value}")
+            lines.append("    store 1")
+            lines.append(f"    {ret}")
+            lines.append(f"skip_{key}:")
+
+    # First half of the table probes in page 0; rest in page 1.
+    half = TABLE_SIZE // 2
+    for key in range(half):
+        emit_entry(key, table[key], 0)
+    lines.append("    %farjump 1, upper")
+    lines.append(".page 1")
+    lines.append("upper:")
+    for key in range(half, TABLE_SIZE):
+        emit_entry(key, table[key], 1)
+    # A 4-bit key always hits; this is unreachable backstop code.
+    lines.append("    %ldi 0")
+    lines.append("    store 1")
+    lines.append("ret1:")
+    lines.append("    %farjump 0, loop")
+    return "\n".join(lines)
+
+
+def build_loadstore(target):
+    table = generate_table()
+    lines = [
+        "; Key/value lookup (load-store).",
+        "loop:",
+        "    in r1",
+    ]
+
+    def emit_entry(key, value, page):
+        lines.append("    mov r2, r1")
+        lines.append(f"    addi r2, {-key & 0xF}")
+        lines.append(f"    br np, r2, skip_{key}")
+        lines.append(f"    movi r3, {value}")
+        lines.append("    out r3")
+        if page == 0:
+            lines.append("    br nzp, r0, loop")
+        else:
+            lines.append(f"    br nzp, r0, ret{page}")
+        lines.append(f"skip_{key}:")
+
+    # 16-bit instructions: 64 per page; split the ladder three ways.
+    for key in range(6):
+        emit_entry(key, table[key], 0)
+    lines.append("    %farjump 1, mid")
+    lines.append(".page 1")
+    lines.append("mid:")
+    for key in range(6, 12):
+        emit_entry(key, table[key], 1)
+    lines.append("    %farjump 2, high")
+    lines.append("ret1:")
+    lines.append("    %farjump 0, loop")
+    lines.append(".page 2")
+    lines.append("high:")
+    for key in range(12, TABLE_SIZE):
+        emit_entry(key, table[key], 2)
+    lines.append("ret2:")
+    lines.append("    %farjump 0, loop")
+    return "\n".join(lines)
+
+
+def reference(inputs):
+    table = generate_table()
+    return [table[key & 0xF] for key in inputs]
+
+
+def gen_inputs(rng, transactions):
+    return [int(rng.integers(0, TABLE_SIZE)) for _ in range(transactions)]
+
+
+KERNEL = Kernel(
+    name="Lookup",
+    app_type="Reactive",
+    description="16-entry key/value database lookup (POS / Smart Label)",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=1,
+)

@@ -1,0 +1,566 @@
+"""Macro libraries: one virtual operation set, many hardware targets.
+
+Every accumulator kernel in the suite is written against the macro names
+defined here.  :func:`build_library` inspects the target ISA and registers
+the cheapest correct expansion each virtual operation admits:
+
+- on the base FlexiCore4 ISA a logical right shift expands to the ~30
+  instruction bit-serial routine of Listing 1, an unconditional jump to
+  the ``nandi 0; brn`` idiom of Listing 2, and unsigned comparisons to
+  the MSB-partition dance;
+- with the Section 6.1 extensions, the same macros collapse to ``lsri``,
+  ``br nzp`` and ``sub``-based sequences.
+
+Assembling one kernel under different libraries therefore *is* the
+Figure 9/10 code-size experiment.
+
+Register conventions (FlexiCore4's eight words):
+
+====  =======================================================
+ 0    IPORT (memory-mapped input bus)
+ 1    OPORT (memory-mapped output bus)
+ 2-5  kernel state
+ 6    ``T1`` -- macro scratch (shift result accumulator)
+ 7    ``T0`` -- macro scratch (operand save)
+====  =======================================================
+
+Macros marked *clobbers acc* leave an unspecified accumulator value on
+at least one path; kernels reload after them.
+"""
+
+from repro.asm.errors import MacroError
+from repro.asm.macro import MacroLibrary
+from repro.asm.parser import parse_integer
+
+#: Macro scratch words (top of the FlexiCore4 data memory).
+T0 = 7
+T1 = 6
+
+
+def _const(name, token):
+    value = parse_integer(str(token).strip())
+    if value is None:
+        raise MacroError(
+            f"%{name}: operand '{token}' must be an integer literal"
+        )
+    return value
+
+
+def build_library(isa):
+    """Build the macro library matched to ``isa``'s available features."""
+    lib = MacroLibrary(f"acc:{isa.name}")
+    width = isa.word_bits
+    ones = (1 << width) - 1
+    msb_bit = 1 << (width - 1)
+
+    has = isa.has
+
+    # ------------------------------------------------------------------
+    # Constants and tiny arithmetic helpers.
+    # ------------------------------------------------------------------
+
+    @lib.define("ldi")
+    def ldi(ctx, value):
+        """acc <- constant."""
+        value = _const("ldi", value) & ones
+        if has("ldb"):  # FlexiCore8's two-byte immediate load
+            return [f"ldb {value}"]
+        lines = ["nandi 0"]  # acc <- all-ones, independent of prior acc
+        if value != ones:
+            lines.append(f"xori {ones ^ value}")
+        return lines
+
+    @lib.define("not")
+    def not_(ctx):
+        """acc <- ~acc."""
+        return [f"nandi {ones}"]
+
+    @lib.define("negate")
+    def negate(ctx):
+        """acc <- -acc (two's complement)."""
+        if has("neg"):
+            return ["neg"]
+        return [f"nandi {ones}", "addi 1"]
+
+    @lib.define("subi")
+    def subi(ctx, value):
+        """acc <- acc - constant."""
+        value = _const("subi", value) % (1 << width)
+        return [f"addi {((1 << width) - value) % (1 << width)}"]
+
+    @lib.define("sub_m")
+    def sub_m(ctx, addr):
+        """acc <- acc - mem[addr]   (identity: a-b = ~(~a + b))."""
+        if has("sub"):
+            return [f"sub {addr}"]
+        return [f"nandi {ones}", f"add {addr}", f"nandi {ones}"]
+
+    @lib.define("inc")
+    def inc(ctx, addr):
+        """mem[addr] += 1 (through the accumulator)."""
+        return [f"load {addr}", "addi 1", f"store {addr}"]
+
+    @lib.define("dec")
+    def dec(ctx, addr):
+        """mem[addr] -= 1 (through the accumulator)."""
+        return [f"load {addr}", f"addi {ones}", f"store {addr}"]
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+
+    @lib.define("jump")
+    def jump(ctx, target):
+        """Unconditional jump.  Clobbers acc on the base ISA."""
+        if has("br"):
+            return [f"br nzp, {target}"]
+        return ["nandi 0", f"brn {target}"]
+
+    @lib.define("jump_keep")
+    def jump_keep(ctx, target):
+        """Accumulator-preserving unconditional jump -- Listing 2.
+
+        The branch is tried directly (taken when acc is negative); on
+        the positive path the MSB is flipped to force a branch to a
+        landing pad that flips it back.  The target must be declared
+        with ``%landing`` instead of a plain label.
+        """
+        if has("br"):
+            return [f"br nzp, {target}"]
+        return [
+            f"brn {target}",
+            f"xori {msb_bit}",
+            f"brn __pre_{target}",
+        ]
+
+    @lib.define("landing")
+    def landing(ctx, target):
+        """Jump target for %jump_keep: restores the flipped MSB on the
+        detour path (Listing 2's PRETGT)."""
+        if has("br"):
+            return [f"{target}:"]
+        return [
+            f"__pre_{target}:",
+            f"xori {msb_bit}",
+            f"{target}:",
+        ]
+
+    @lib.define("brz")
+    def brz(ctx, target):
+        """Branch if acc == 0.  Clobbers acc on the base ISA."""
+        if has("br"):
+            return [f"br z, {target}"]
+        no = ctx.label("brz_no")
+        return [
+            f"brn {no}",        # negative -> nonzero
+            f"addi {ones}",     # acc-1: only 0 wraps negative
+            f"brn {target}",
+            f"{no}:",
+        ]
+
+    @lib.define("brnz")
+    def brnz(ctx, target):
+        """Branch if acc != 0.  Clobbers acc on the base ISA."""
+        if has("br"):
+            return [f"br np, {target}"]
+        skip = ctx.label("brnz_skip")
+        return [
+            f"brn {target}",    # negative -> nonzero
+            f"addi {ones}",
+            f"brn {skip}",      # was zero -> fall through
+            "nandi 0",
+            f"brn {target}",
+            f"{skip}:",
+        ]
+
+    @lib.define("halt")
+    def halt(ctx):
+        """Stop: explicit halt, or the branch-to-self idle idiom."""
+        if has("halt"):
+            return ["halt"]
+        here = ctx.label("halt")
+        return ["nandi 0", f"{here}:", f"brn {here}"]
+
+    @lib.define("farjump")
+    def farjump(ctx, page, target):
+        """Cross-page jump through the off-chip MMU (Section 5.1).
+
+        Emits the arm/arm/arm/page OPORT sequence; the trailing branch runs in
+        the MMU's page-switch delay shadow and lands at ``target`` in the
+        new page (the ``@`` prefix waives the assembler's same-page check).
+        """
+        page = _const("farjump", page)
+        sentinel = 0xA if width <= 4 else 0xAA
+        if page == sentinel:
+            raise MacroError(
+                "%farjump: page 0xA is unreachable through a 4-bit MMU "
+                "(it collides with the arm sentinel)"
+            )
+        lines = []
+        lines += lib.lookup("ldi")(ctx, sentinel)
+        lines += ["store 1", "store 1", "store 1"]
+        lines += lib.lookup("ldi")(ctx, page)
+        lines += ["store 1"]
+        # Two delay-shadow instructions fetch from the old page:
+        lines += ["nandi 0", f"brn @{target}"]
+        return lines
+
+    # ------------------------------------------------------------------
+    # Shifts (Listing 1: the expensive base-ISA operation).
+    # ------------------------------------------------------------------
+
+    def _shift_right_base(ctx, arithmetic):
+        """Bit-serial right shift by 1: peel bits MSB-first by doubling.
+
+        Uses T0 (shifting copy) and T1 (result).  ~30 instructions on the
+        base ISA, matching the flavor of the paper's Listing 1.
+        """
+        lines = [f"store {T0}"]
+        lines += lib.lookup("ldi")(ctx, 0)
+        lines += [f"store {T1}", f"load {T0}"]
+        for bit in range(width - 1, 0, -1):
+            set_label = ctx.label(f"sr_set{bit}")
+            done_label = ctx.label(f"sr_done{bit}")
+            contribution = 1 << (bit - 1)
+            if arithmetic and bit == width - 1:
+                # Sign-extend: the MSB lands in both old positions.
+                contribution |= msb_bit
+            lines += [
+                f"brn {set_label}",
+                "nandi 0",                   # jump over the set-arm
+                f"brn {done_label}",
+                f"{set_label}:",
+                f"load {T1}",
+                f"addi {contribution & ones}" if contribution <= ones
+                else f"addi {contribution}",
+                f"store {T1}",
+                f"{done_label}:",
+                f"load {T0}",
+                f"add {T0}",                 # shift the copy left by one
+                f"store {T0}",
+            ]
+        lines += [f"load {T1}"]
+        return lines
+
+    @lib.define("lsr1")
+    def lsr1(ctx):
+        """acc <- acc >> 1 (logical).  Uses T0/T1 on the base ISA.
+
+        With the subroutine extension (but no barrel shifter) the ~30
+        instruction bit-serial routine is emitted once, into the page's
+        ``%emit_pool``, and shared by every call site -- the paper's
+        motivation for spending 8 flip-flops on a return register.
+        """
+        if has("lsri"):
+            return ["lsri 1"]
+        if has("call"):
+            label = ctx.request_subroutine(
+                "lsr1", lambda: _shift_right_base(ctx, arithmetic=False)
+            )
+            return [f"call {label}"]
+        return _shift_right_base(ctx, arithmetic=False)
+
+    @lib.define("asr1")
+    def asr1(ctx):
+        """acc <- acc >> 1 (arithmetic).  Uses T0/T1 on the base ISA."""
+        if has("asri"):
+            return ["asri 1"]
+        if has("call"):
+            label = ctx.request_subroutine(
+                "asr1", lambda: _shift_right_base(ctx, arithmetic=True)
+            )
+            return [f"call {label}"]
+        return _shift_right_base(ctx, arithmetic=True)
+
+    @lib.define("emit_pool")
+    def emit_pool(ctx):
+        """Lay down subroutine bodies requested so far (no-op when none).
+
+        Must be placed after an unconditional control transfer, within
+        the same page as the call sites.
+        """
+        return ctx.flush_pool()
+
+    @lib.define("lsr")
+    def lsr(ctx, amount):
+        """acc <- acc >> amount (logical)."""
+        amount = _const("lsr", amount)
+        if not 0 <= amount < width:
+            raise MacroError(f"%lsr: amount {amount} out of range")
+        if amount == 0:
+            return []
+        if has("lsri"):
+            return [f"lsri {amount}"]
+        lines = []
+        for _ in range(amount):
+            lines += ["%lsr1"]
+        return lines
+
+    @lib.define("lsl1")
+    def lsl1(ctx):
+        """acc <- acc << 1 (always cheap: the adder doubles)."""
+        return [f"store {T0}", f"add {T0}"]
+
+    # ------------------------------------------------------------------
+    # Unsigned comparisons (no carry flag on the base ISA).
+    # ------------------------------------------------------------------
+
+    @lib.define("bltu_i")
+    def bltu_i(ctx, value, target):
+        """Branch if acc < constant (unsigned).  Clobbers acc."""
+        value = _const("bltu_i", value) & ones
+        half = 1 << (width - 1)
+        if value == 0:
+            return []  # nothing is below zero
+        if value <= half:
+            no = ctx.label("bltu_no")
+            return [
+                f"brn {no}",                     # acc >= half >= value
+                f"%subi {value}",
+                f"brn {target}",
+                f"{no}:",
+            ]
+        check = ctx.label("bltu_chk")
+        return [
+            f"brn {check}",
+            "nandi 0",                           # acc < half < value: yes
+            f"brn {target}",
+            f"{check}:",
+            f"%subi {value}",
+            f"brn {target}",
+        ]
+
+    @lib.define("bgeu_i")
+    def bgeu_i(ctx, value, target):
+        """Branch if acc >= constant (unsigned).  Clobbers acc."""
+        value = _const("bgeu_i", value) & ones
+        half = 1 << (width - 1)
+        if value == 0:
+            return ["%jump " + str(target)]
+        if value <= half:
+            no = ctx.label("bgeu_no")
+            return [
+                f"brn {target}",                 # acc >= half >= value
+                f"%subi {value}",
+                f"brn {no}",                     # negative: acc < value
+                "nandi 0",
+                f"brn {target}",
+                f"{no}:",
+            ]
+        check = ctx.label("bgeu_chk")
+        end = ctx.label("bgeu_end")
+        return [
+            f"brn {check}",
+            "nandi 0",
+            f"brn {end}",                        # acc < half < value: no
+            f"{check}:",
+            f"%subi {value}",
+            f"brn {end}",                        # negative: acc < value
+            "nandi 0",
+            f"brn {target}",
+            f"{end}:",
+        ]
+
+    @lib.define("bltu_m")
+    def bltu_m(ctx, addr, target):
+        """Branch if acc < mem[addr] (unsigned).  Clobbers acc, uses T0.
+
+        MSB partition: if the MSBs differ the operand with MSB=1 is
+        larger; otherwise the signed difference cannot overflow.
+        """
+        diff = ctx.label("bltu_diff")
+        end = ctx.label("bltu_end")
+        return [
+            f"store {T0}",
+            f"xor {addr}",
+            f"brn {diff}",
+            f"load {T0}",
+            f"%sub_m {addr}",
+            f"brn {target}",
+            "nandi 0",
+            f"brn {end}",
+            f"{diff}:",
+            f"load {addr}",
+            f"brn {target}",       # mem has the MSB -> acc is smaller
+            f"{end}:",
+        ]
+
+    @lib.define("bgeu_m")
+    def bgeu_m(ctx, addr, target):
+        """Branch if acc >= mem[addr] (unsigned).  Clobbers acc, uses T0."""
+        diff = ctx.label("bgeu_diff")
+        end = ctx.label("bgeu_end")
+        return [
+            f"store {T0}",
+            f"xor {addr}",
+            f"brn {diff}",
+            f"load {T0}",
+            f"%sub_m {addr}",
+            f"brn {end}",          # negative: acc < mem
+            "nandi 0",
+            f"brn {target}",
+            f"{diff}:",
+            f"load {addr}",
+            f"brn {end}",          # mem has the MSB -> acc smaller
+            "nandi 0",
+            f"brn {target}",
+            f"{end}:",
+        ]
+
+    # ------------------------------------------------------------------
+    # Multi-precision addition (the 'data coalescing' use case).
+    # ------------------------------------------------------------------
+
+    @lib.define("add2w")
+    def add2w(ctx, lo_addr, hi_addr, addend_addr):
+        """(hi:lo) += mem[addend]: double-word accumulate.
+
+        With the ``adc`` extension this is the textbook add/adc pair;
+        on the base ISA the carry is recovered with an unsigned compare
+        (sum < addend  <=>  carry out).
+        """
+        if has("adc"):
+            return [
+                f"load {lo_addr}",
+                f"add {addend_addr}",
+                f"store {lo_addr}",
+                f"load {hi_addr}",
+                "adci 0",
+                f"store {hi_addr}",
+            ]
+        carry = ctx.label("add2w_carry")
+        end = ctx.label("add2w_end")
+        return [
+            f"load {lo_addr}",
+            f"add {addend_addr}",
+            f"store {lo_addr}",
+            f"%bltu_m {addend_addr}, {carry}",   # sum < addend => carried
+            "nandi 0",
+            f"brn {end}",
+            f"{carry}:",
+            f"%inc {hi_addr}",
+            f"{end}:",
+        ]
+
+    # ------------------------------------------------------------------
+    # Saturating signed arithmetic (used by the FIR kernel).
+    # ------------------------------------------------------------------
+
+    @lib.define("satadd_m")
+    def satadd_m(ctx, addr):
+        """acc <- saturate(acc + mem[addr]) as signed words.
+
+        Signed overflow happens only when the operands share a sign and
+        the sum's sign differs; the result then saturates toward the
+        operands' sign.  Uses T0/T1.
+        """
+        safe = ctx.label("sat_safe")
+        ovf = ctx.label("sat_ovf")
+        negsat = ctx.label("sat_neg")
+        done = ctx.label("sat_done")
+        # The result travels through T0 on every path because %jump
+        # clobbers the accumulator on the base ISA.
+        return [
+            f"store {T1}",            # A
+            f"xor {addr}",            # sign(A) ^ sign(B)
+            f"brn {safe}",            # signs differ: no overflow possible
+            f"load {T1}",
+            f"add {addr}",
+            f"store {T0}",            # r
+            f"xor {T1}",              # sign(r) ^ sign(A)
+            f"brn {ovf}",
+            f"%jump {done}",
+            f"{safe}:",
+            f"load {T1}",
+            f"add {addr}",
+            f"store {T0}",
+            f"%jump {done}",
+            f"{ovf}:",
+            f"load {T1}",
+            f"brn {negsat}",
+            f"%ldi {(1 << (width - 1)) - 1}",   # +max
+            f"store {T0}",
+            f"%jump {done}",
+            f"{negsat}:",
+            f"%ldi {1 << (width - 1)}",         # -max-1
+            f"store {T0}",
+            f"{done}:",
+            f"load {T0}",
+        ]
+
+    @lib.define("satsub_m")
+    def satsub_m(ctx, addr):
+        """acc <- saturate(acc - mem[addr]) as signed words.  Uses T0/T1."""
+        check = ctx.label("sat_chk")
+        ovf = ctx.label("sat_ovf")
+        negsat = ctx.label("sat_neg")
+        done = ctx.label("sat_done")
+        return [
+            f"store {T1}",            # A
+            f"xor {addr}",
+            f"brn {check}",           # signs differ: overflow possible
+            f"load {T1}",
+            f"%sub_m {addr}",
+            f"store {T0}",
+            f"%jump {done}",
+            f"{check}:",
+            f"load {T1}",
+            f"%sub_m {addr}",
+            f"store {T0}",
+            f"xor {T1}",              # sign(r) ^ sign(A)
+            f"brn {ovf}",
+            f"%jump {done}",
+            f"{ovf}:",
+            f"load {T1}",
+            f"brn {negsat}",
+            f"%ldi {(1 << (width - 1)) - 1}",
+            f"store {T0}",
+            f"%jump {done}",
+            f"{negsat}:",
+            f"%ldi {1 << (width - 1)}",
+            f"store {T0}",
+            f"{done}:",
+            f"load {T0}",
+        ]
+
+    return lib
+
+
+def loadstore_library(isa):
+    """Minimal macro library for the load-store ISA (it is expressive
+    enough that kernels mostly use instructions directly)."""
+    lib = MacroLibrary(f"ls:{isa.name}")
+
+    @lib.define("jump")
+    def jump(ctx, target):
+        return [f"br nzp, r0, {target}"]
+
+    @lib.define("halt")
+    def halt(ctx):
+        return ["halt"]
+
+    @lib.define("ldi")
+    def ldi(ctx, reg, value):
+        return [f"movi {reg}, {value}"]
+
+    @lib.define("farjump")
+    def farjump(ctx, page, target):
+        """Cross-page jump through the MMU; r6 is the scratch register."""
+        page = _const("farjump", page)
+        sentinel = 0xA if isa.word_bits <= 4 else 0xAA
+        if page == sentinel:
+            raise MacroError(
+                "%farjump: page 0xA is unreachable through a 4-bit MMU"
+            )
+        return [
+            f"movi r6, {sentinel}",
+            "out r6",
+            "out r6",
+            "out r6",
+            f"movi r6, {page}",
+            "out r6",
+            "nop",                      # delay-shadow instruction 1
+            f"br nzp, r0, @{target}",   # delay-shadow instruction 2
+        ]
+
+    return lib

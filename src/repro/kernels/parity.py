@@ -1,0 +1,139 @@
+"""Parity Check kernel (Table 6): even-parity of an 8-bit word.
+
+"Parity checking is a computationally inexpensive error detection code"
+(Section 5.1) for flexible systems with wireless links.  On FlexiCore4 the
+octet arrives as two nibbles (low first); the kernel outputs the parity
+bit (1 when an odd number of bits are set).
+
+Two algorithms are generated depending on the hardware:
+
+- with the barrel shifter: the classic xor-fold ``p ^= p>>2; p ^= p>>1``;
+- on the base ISA: MSB peeling -- shifting left through the adder and
+  toggling a flag on each set bit, which avoids the ~30-instruction
+  right-shift routine entirely.
+"""
+
+from repro.isa import bits
+from repro.kernels.kernel import Kernel
+
+
+def _build_fold(width):
+    lines = [
+        "; Parity (xor-fold, barrel shifter available).",
+        ".equ V 2",
+        "loop:",
+        "    load 0",
+        "    store V",
+        "    load 0",
+        "    xor V",
+        "    store V",
+    ]
+    shift = width // 2
+    while shift >= 1:
+        lines += [
+            f"    %lsr {shift}",
+            "    xor V",
+            "    store V",
+        ]
+        shift //= 2
+    lines += [
+        "    nandi 1",        # acc&1 via ~(acc&1) then complement
+        f"    xori {(1 << width) - 1}",
+        "    store 1",
+        "    %jump loop",
+    ]
+    return "\n".join(lines)
+
+
+def _build_peel(width):
+    lines = [
+        "; Parity (MSB peeling, base ISA).",
+        ".equ V 2",
+        ".equ F 3",
+        "loop:",
+        "    load 0",
+        "    store V",
+        "    load 0",
+        "    xor V",
+        "    store V",
+        "    %ldi 0",
+        "    store F",
+    ]
+    for index in range(width):
+        lines += [
+            "    load V",
+            f"    brn bit_set_{index}",
+            f"    %jump bit_done_{index}",
+            f"bit_set_{index}:",
+            "    load F",
+            "    xori 1",
+            "    store F",
+            f"bit_done_{index}:",
+        ]
+        if index != width - 1:
+            lines += [
+                "    load V",
+                "    add V",         # shift the word left by one
+                "    store V",
+            ]
+    lines += [
+        "    load F",
+        "    store 1",
+        "    %jump loop",
+    ]
+    return "\n".join(lines)
+
+
+def build(target):
+    width = target.isa.word_bits
+    if target.isa.has("lsri"):
+        return _build_fold(width)
+    return _build_peel(width)
+
+
+def build_loadstore(target):
+    return """
+; Parity (load-store): xor-fold in registers.
+loop:
+    in r1
+    in r2
+    xor r1, r2
+    mov r2, r1
+    lsri r2, 2
+    xor r1, r2
+    mov r2, r1
+    lsri r2, 1
+    xor r1, r2
+    andi r1, 1
+    out r1
+    br nzp, r0, loop
+"""
+
+
+def reference(inputs):
+    if len(inputs) % 2:
+        raise ValueError("parity kernel consumes nibble pairs")
+    outputs = []
+    for i in range(0, len(inputs), 2):
+        word = ((inputs[i + 1] & 0xF) << 4) | (inputs[i] & 0xF)
+        outputs.append(bits.parity(word))
+    return outputs
+
+
+def gen_inputs(rng, transactions):
+    samples = []
+    for _ in range(transactions):
+        samples += [int(rng.integers(0, 16)), int(rng.integers(0, 16))]
+    return samples
+
+
+KERNEL = Kernel(
+    name="Parity Check",
+    app_type="Reactive",
+    description="Even-parity bit of an 8-bit word (two-nibble input)",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=2,
+)

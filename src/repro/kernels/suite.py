@@ -1,0 +1,70 @@
+"""The Table 6 benchmark suite, as a registry."""
+
+from repro.kernels import (
+    calculator,
+    decision_tree,
+    fir,
+    intavg,
+    parity,
+    thresholding,
+    xorshift,
+)
+from repro.kernels.kernel import Kernel, Target
+
+#: Table 6 order.
+SUITE = (
+    calculator.KERNEL,
+    fir.KERNEL,
+    decision_tree.KERNEL,
+    intavg.KERNEL,
+    thresholding.KERNEL,
+    parity.KERNEL,
+    xorshift.KERNEL,
+)
+
+#: Kernels beyond Table 6 (the POS/Smart-Label lookup workload).
+from repro.kernels import lookup as _lookup  # noqa: E402
+
+EXTRA_KERNELS = (_lookup.KERNEL,)
+
+_BY_NAME = {kernel.name: kernel for kernel in SUITE + EXTRA_KERNELS}
+_ALIASES = {
+    "calculator": "Calculator",
+    "fir": "Four-tap FIR",
+    "decision_tree": "Decision Tree",
+    "dectree": "Decision Tree",
+    "intavg": "IntAvg",
+    "thresholding": "Thresholding",
+    "parity": "Parity Check",
+    "xorshift": "XorShift8",
+    "xorshift8": "XorShift8",
+}
+
+
+def kernel_names():
+    return tuple(kernel.name for kernel in SUITE)
+
+
+def get_kernel(name):
+    """Look a kernel up by its Table 6 name or a lowercase alias."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    canonical = _ALIASES.get(name.lower().replace(" ", "_"))
+    if canonical is None:
+        raise KeyError(f"unknown kernel '{name}'")
+    return _BY_NAME[canonical]
+
+
+def check_suite(target, rng, transactions=8, max_cycles=2_000_000):
+    """Run every kernel against its golden model on ``target``.
+
+    Returns {kernel name: RunResult}.  Raises on any output mismatch --
+    this is the software analogue of the paper's chip-vs-RTL testing.
+    """
+    results = {}
+    for kernel in SUITE:
+        inputs = kernel.generate_inputs(rng, transactions)
+        results[kernel.name] = kernel.check(
+            target, inputs, max_cycles=max_cycles
+        )
+    return results

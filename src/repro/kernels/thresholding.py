@@ -1,0 +1,84 @@
+"""Thresholding kernel (Table 6): sticky extreme-value detector.
+
+Checks an input sequence for values greater than a threshold and "places a
+non-zero value on the output bus if and only if the input sequence contains
+such an extreme value" (Section 5.1).  One output per input sample; the
+detector output is sticky, matching applications like the Food Temperature
+or Light Level sensors that must remember an excursion.
+"""
+
+from repro.isa import bits
+from repro.kernels.kernel import Kernel
+
+#: Values strictly above this (unsigned) are "extreme".
+THRESHOLD = 10
+
+
+def build(target):
+    """Accumulator-ISA source (any feature subset)."""
+    return f"""
+; Thresholding: sticky detector for inputs > {THRESHOLD}.
+.equ STICKY 2
+    %ldi 0
+    store STICKY
+loop:
+    load 0                      ; next sample
+    %bgeu_i {THRESHOLD + 1}, extreme
+    load STICKY                 ; not extreme: report current state
+    store 1
+    %jump loop
+extreme:
+    %ldi 1
+    store STICKY
+    store 1
+    %jump loop
+"""
+
+
+def build_loadstore(target):
+    """Load-store-ISA source (r1 = sticky flag, r2 = sample, r3 = scratch)."""
+    return f"""
+; Thresholding (load-store): sticky detector for inputs > {THRESHOLD}.
+    movi r1, 0
+loop:
+    in r2
+    br n, r2, check             ; MSB set: sample >= 8, compare properly
+    out r1                      ; sample < 8 <= threshold: not extreme
+    br nzp, r0, loop
+check:
+    mov r3, r2
+    addi r3, {-(THRESHOLD + 1) & 0xF}
+    br zp, r3, extreme          ; sample - (T+1) >= 0
+    out r1
+    br nzp, r0, loop
+extreme:
+    movi r1, 1
+    out r1
+    br nzp, r0, loop
+"""
+
+
+def reference(inputs):
+    sticky = 0
+    outputs = []
+    for sample in inputs:
+        if (sample & 0xF) > THRESHOLD:
+            sticky = 1
+        outputs.append(sticky)
+    return outputs
+
+
+def gen_inputs(rng, transactions):
+    return [int(rng.integers(0, 16)) for _ in range(transactions)]
+
+
+KERNEL = Kernel(
+    name="Thresholding",
+    app_type="Streaming",
+    description="Sticky detection of input samples above a threshold",
+    source_fn=build,
+    loadstore_source_fn=build_loadstore,
+    reference_fn=reference,
+    input_fn=gen_inputs,
+    inputs_per_transaction=1,
+)

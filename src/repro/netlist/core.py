@@ -1,0 +1,141 @@
+"""Gate-level netlist data structures.
+
+A :class:`Netlist` is a flat list of standard-cell instances connected by
+named nets, with each instance tagged by the architectural module it
+belongs to (``alu``, ``decoder``, ``memory``, ``pc``, ``acc``, ...) so the
+Table 2/3 per-module breakdowns fall out of a rollup.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tech.cells import MM2_PER_NAND2, Cell
+
+
+@dataclass(frozen=True)
+class GateInst:
+    """One placed standard cell."""
+
+    name: str
+    cell: Cell
+    inputs: Tuple[str, ...]
+    output: str
+    module: str
+
+    @property
+    def sequential(self):
+        return self.cell.sequential
+
+
+@dataclass
+class Netlist:
+    """A gate-level design."""
+
+    name: str
+    gates: List[GateInst] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)    # primary inputs
+    outputs: List[str] = field(default_factory=list)   # primary outputs
+    #: Net names tied to constants.
+    constants: Dict[str, int] = field(default_factory=dict)
+
+    # -- structural metrics ---------------------------------------------
+
+    @property
+    def gate_count(self):
+        return len(self.gates)
+
+    @property
+    def device_count(self):
+        return sum(gate.cell.devices for gate in self.gates)
+
+    @property
+    def flop_count(self):
+        return sum(1 for gate in self.gates if gate.sequential)
+
+    @property
+    def nand2_area(self):
+        return sum(gate.cell.area for gate in self.gates)
+
+    @property
+    def area_mm2(self):
+        return self.nand2_area * MM2_PER_NAND2
+
+    @property
+    def pullups(self):
+        return sum(gate.cell.pullups for gate in self.gates)
+
+    def modules(self):
+        return sorted({gate.module for gate in self.gates})
+
+    def module_breakdown(self):
+        """Per-module structural summary, the basis of Tables 2 and 3.
+
+        Returns {module: {gates, devices, area, pullups, seq_area,
+        comb_area, area_fraction, pullup_fraction}}.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        for gate in self.gates:
+            entry = totals.setdefault(gate.module, {
+                "gates": 0, "devices": 0, "area": 0.0, "pullups": 0,
+                "seq_area": 0.0, "comb_area": 0.0,
+            })
+            entry["gates"] += 1
+            entry["devices"] += gate.cell.devices
+            entry["area"] += gate.cell.area
+            entry["pullups"] += gate.cell.pullups
+            if gate.sequential:
+                entry["seq_area"] += gate.cell.area
+            else:
+                entry["comb_area"] += gate.cell.area
+        total_area = self.nand2_area or 1.0
+        total_pullups = self.pullups or 1
+        for entry in totals.values():
+            entry["area_fraction"] = entry["area"] / total_area
+            entry["pullup_fraction"] = entry["pullups"] / total_pullups
+            entry["noncomb_fraction"] = (
+                entry["seq_area"] / entry["area"] if entry["area"] else 0.0
+            )
+        return totals
+
+    def cell_histogram(self):
+        histogram: Dict[str, int] = {}
+        for gate in self.gates:
+            histogram[gate.cell.name] = histogram.get(gate.cell.name, 0) + 1
+        return histogram
+
+    def function_histogram(self):
+        histogram: Dict[str, int] = {}
+        for gate in self.gates:
+            key = gate.cell.function
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    # -- structural checks -------------------------------------------------
+
+    def drivers(self):
+        """Map net -> driving gate; constants and primary inputs have
+        no driver."""
+        table = {}
+        for gate in self.gates:
+            if gate.output in table:
+                raise ValueError(
+                    f"net '{gate.output}' driven by both "
+                    f"'{table[gate.output].name}' and '{gate.name}'"
+                )
+            table[gate.output] = gate
+        return table
+
+    def validate(self):
+        """Check single-driver nets and that every input is driven."""
+        driven = set(self.drivers())
+        available = driven | set(self.inputs) | set(self.constants)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in available:
+                    raise ValueError(
+                        f"gate '{gate.name}' input '{net}' is undriven"
+                    )
+        for net in self.outputs:
+            if net not in available:
+                raise ValueError(f"primary output '{net}' is undriven")
+        return True

@@ -1,0 +1,385 @@
+"""Parametric gate-level cores for the Section 6 design-space exploration.
+
+:func:`build_extended_core` grows the base FlexiCore4 datapath with any
+subset of the Section 6.1 features, and :func:`build_loadstore_core`
+builds the two-operand machine of Section 6.2; both accept the three
+microarchitectures of the operand study (single-cycle, two-stage
+pipeline, multicycle).  The netlists are structurally complete -- every
+net driven, every module tagged -- so the area / static-power / STA
+rollups that drive Figures 9, 12 and 13 are measured on real gate
+structures rather than guessed constants.  (Functional verification at
+the gate level is done on the fabricated base cores; the DSE cores are
+sized, not booted.)
+"""
+
+from repro.netlist.builder import NetlistBuilder
+
+#: Figure 9's sweep order.
+DSE_FEATURES = (
+    "adc", "shift", "flags", "mult", "xchg", "subr", "fullalu", "mem2x",
+)
+
+
+def _memory(b, width, words, read_ports, write_enable, write_data,
+            addr_bits_nets, iport=None, second_addr_nets=None):
+    """Data memory / register file.
+
+    ``read_ports`` extra read muxes model the paper's second-port cost
+    ("we estimated that adding a second port would have increased the
+    data memory area by 39% and 25%" -- Section 3.5).  Word 0 reads the
+    input port when ``iport`` is given (the accumulator machines).
+    """
+    b.set_module("memory")
+    select = b.decoder(addr_bits_nets, size=words)
+    stored = {}
+    first_stored = 0 if iport is None else 1
+    for word in range(first_stored, words):
+        enable = b.and_(select[word], write_enable)
+        stored[word] = b.register(write_data, enable=enable)
+    lanes = []
+    for word in range(words):
+        if word == 0 and iport is not None:
+            lanes.append(iport)
+        else:
+            lanes.append(stored[word])
+
+    def read_port(addr_nets, extra_port=False):
+        data = []
+        for bit in range(width):
+            nets = [lane[bit] for lane in lanes]
+            if extra_port:
+                # A second port loads every storage cell's output twice:
+                # the cells need output buffering on the extra port, which
+                # is the bulk of the paper's "+39% memory area" estimate.
+                nets = [b.buf(b.buf(net)) for net in nets]
+            level = 0
+            while len(nets) > 1:
+                sel = addr_nets[level]
+                nxt = []
+                for i in range(0, len(nets), 2):
+                    if i + 1 < len(nets):
+                        nxt.append(b.mux(nets[i], nets[i + 1], sel))
+                    else:
+                        nxt.append(nets[i])
+                nets = nxt
+                level += 1
+            data.append(nets[0])
+        return data
+
+    ports = [read_port(addr_bits_nets)]
+    for _ in range(read_ports - 1):
+        ports.append(
+            read_port(second_addr_nets or addr_bits_nets, extra_port=True)
+        )
+    return stored, ports
+
+
+def _pc_block(b, instr, taken, extra_source=None, extra_sel=None):
+    b.set_module("pc")
+    pc_q = [b.net(f"pc_q{i}") for i in range(7)]
+    inc, _ = b.incrementer(pc_q)
+    next_pc = b.mux_word(inc, instr[:7], taken)
+    if extra_source is not None:
+        next_pc = b.mux_word(next_pc, extra_source, extra_sel)
+    for bit in range(7):
+        b.dff(next_pc[bit], out=pc_q[bit])
+    return pc_q
+
+
+def _microarch_overhead(b, microarch, instr_bits):
+    """Pipeline / multicycle control state (Section 6.2).
+
+    - two-stage pipeline: an instruction register plus valid/flush flag;
+    - multicycle: a state counter plus per-cycle control-word muxing
+      ("generation of multiple sets of control words" -- Section 6.2).
+    """
+    b.set_module("control")
+    if microarch == "P":
+        fetched = [b.input(f"pipe_in{i}") for i in range(instr_bits)]
+        latched = b.register(fetched)
+        valid = b.dff(b.inv(latched[0]))
+        b.output(b.buf(valid), name="pipe_valid")
+        for i, net in enumerate(latched):
+            b.output(net, name=None)
+    elif microarch == "MC":
+        state0 = b.net("mc_state0")
+        state1 = b.net("mc_state1")
+        nxt0 = b.inv(state0)
+        b.dff(nxt0, out=state0)
+        b.dff(b.xor(state0, state1), out=state1)
+        # One control-word mux per datapath control line, per cycle state
+        # ("generation of multiple sets of control words -- one for each
+        # cycle of instruction execution", Section 6.2).
+        controls = []
+        for i in range(16):
+            controls.append(b.mux(state0, state1, b.xor(state0, state1)))
+        b.output(b.or_tree(controls), name="mc_ctrl")
+
+
+def build_extended_core(features=(), microarch="SC", name=None):
+    """Extended accumulator core: base FlexiCore4 + feature hardware."""
+    features = frozenset(features)
+    unknown = features - set(DSE_FEATURES)
+    if unknown:
+        raise ValueError(f"unknown DSE features {sorted(unknown)}")
+    width = 4
+    words = 16 if "mem2x" in features else 8
+    addr_bits = (words - 1).bit_length()
+    if name is None:
+        tag = "+".join(sorted(features)) if features else "base"
+        name = f"extacc[{tag}]-{microarch.lower()}"
+    b = NetlistBuilder(name)
+
+    b.set_module("io")
+    instr = b.input_bus("instr", 8)
+    iport = b.input_bus("iport", width)
+
+    # -- decoder --------------------------------------------------------
+    b.set_module("decoder")
+    i7, i6, i5, i4, i3 = instr[7], instr[6], instr[5], instr[4], instr[3]
+    not_branch = b.inv(i7)
+    op11 = b.and_(i5, i4)
+    is_ttype = b.and_tree([not_branch, i6, op11])
+    is_store = b.and_(is_ttype, i3)
+    acc_we = b.and_(not_branch, b.inv(is_store))
+    sel_imm = b.and_(i6, b.inv(is_ttype))
+    mem_we = is_store
+    # Two-byte instructions (EXT prefix, br/call) need a fetch-state flag.
+    multi_byte = bool(features & {"adc", "shift", "flags", "mult",
+                                  "xchg", "subr", "fullalu"})
+    if multi_byte:
+        ext_opcode = b.and_tree([b.inv(instr[k]) for k in (7, 6, 5, 4, 3,
+                                                           1, 0)]
+                                + [instr[2]])
+        ext_flag = b.net("ext_flag")
+        b.dff(b.and_(ext_opcode, b.inv(ext_flag)), out=ext_flag)
+        # Sub-op strobes in the data byte: one AND per extension op
+        # (the high nibble is close to one-hot by construction).
+        ops = 2 * len(features & {"adc", "shift", "mult"}) \
+            + len(features & {"xchg", "fullalu"})
+        for index in range(ops):
+            b.and_(instr[4 + (index % 4)], ext_flag)
+
+    # -- memory ----------------------------------------------------------
+    acc_q = [b.net(f"acc_q{i}") for i in range(width)]
+    addr = instr[:addr_bits]
+    mem_wdata = acc_q
+    stored, (mem_rdata,) = _memory(
+        b, width, words, read_ports=1,
+        write_enable=mem_we, write_data=mem_wdata,
+        addr_bits_nets=addr, iport=iport,
+    )
+    if "xchg" in features:
+        # Exchange needs no new port (acc->mem and mem->acc in one cycle)
+        # but does need write-path control.
+        b.set_module("memory")
+        b.and_(b.const1, instr[2])
+
+    # -- ALU --------------------------------------------------------------
+    b.set_module("alu")
+    imm = instr[:width]
+    operand = [b.mux(mem_rdata[i], imm[i], sel_imm) for i in range(width)]
+    if "fullalu" in features:
+        # Subtraction: invert B and inject carry-in.
+        sub_sel = b.net("sub_sel")
+        b.set_module("decoder")
+        b.dff(b.and_(i5, i4), out=sub_sel)  # registered decode strobe
+        b.set_module("alu")
+        operand_adder = [b.xor(bit, sub_sel) for bit in operand]
+        cin = sub_sel
+    else:
+        operand_adder = operand
+        cin = b.const0
+    if "adc" in features:
+        b.set_module("acc")
+        carry_q = b.net("carry_q")
+        b.set_module("alu")
+        cin = b.mux(cin, carry_q, b.and_(i5, b.inv(i4)))
+    sums, cout, props, nands = b.ripple_adder(acc_q, operand_adder, cin)
+    if "adc" in features:
+        b.set_module("acc")
+        b.dff(b.mux(carry_q, cout, acc_we), out=carry_q)
+        b.set_module("alu")
+    lanes = [sums, nands, props, operand]
+    alu_out = b.mux4_word(lanes, i4, i5)
+    if "fullalu" in features:
+        ors = [b.or_(acc_q[i], operand[i]) for i in range(width)]
+        ands = [b.inv(nands[i]) for i in range(width)]
+        extra = b.mux4_word([ors, ands, ors, ands], i4, i5)
+        alu_out = b.mux_word(alu_out, extra, b.and_(i6, i5))
+    if "shift" in features:
+        b.set_module("shifter")
+        arith = b.and_(i4, i3)
+        shifted = b.barrel_shifter_right(acc_q, [instr[0], instr[1]],
+                                         arithmetic_sel=arith)
+        b.set_module("alu")
+        alu_out = b.mux_word(alu_out, shifted, b.and_(i5, i3))
+    if "mult" in features:
+        b.set_module("multiplier")
+        product = b.array_multiplier(acc_q, operand)
+        high_sel = instr[2]
+        mul_out = b.mux_word(product[:width], product[width:], high_sel)
+        b.set_module("alu")
+        alu_out = b.mux_word(alu_out, mul_out, b.and_(i6, i3))
+
+    # -- accumulator ------------------------------------------------------
+    b.set_module("acc")
+    for bit in range(width):
+        b.dff(b.mux(acc_q[bit], alu_out[bit], acc_we), out=acc_q[bit])
+
+    # -- branch condition -------------------------------------------------
+    b.set_module("decoder")
+    if "flags" in features:
+        zero = b.nor_tree_is_zero(acc_q)
+        negative = acc_q[width - 1]
+        positive = b.and_(b.inv(negative), b.inv(zero))
+        taken = b.or_tree([
+            b.and_(instr[2], negative),
+            b.and_(instr[1], zero),
+            b.and_(instr[0], positive),
+        ])
+        taken = b.mux(b.and_(i7, negative), taken, b.inv(i7))
+    else:
+        taken = b.and_(i7, acc_q[width - 1])
+
+    # -- subroutine return register -----------------------------------------
+    retaddr = None
+    ret_sel = None
+    if "subr" in features:
+        b.set_module("retaddr")
+        call_strobe = b.and_(b.inv(i7), b.inv(i6))
+        pc_plus = [b.net(f"ra_in{i}") for i in range(7)]
+        retaddr = []
+        for i in range(7):
+            b.buf(instr[i], out=pc_plus[i])
+            retaddr.append(b.dff(b.mux(pc_plus[i], instr[i], call_strobe)))
+        ret_sel = b.and_(call_strobe, instr[0])
+
+    # -- PC -----------------------------------------------------------------
+    pc_q = _pc_block(b, instr, taken, extra_source=retaddr,
+                     extra_sel=ret_sel)
+
+    # -- microarchitecture overhead ------------------------------------------
+    _microarch_overhead(b, microarch, instr_bits=8)
+
+    # -- IO ring ---------------------------------------------------------------
+    b.set_module("io")
+    for bit in range(7):
+        b.output(b.buf(pc_q[bit], drive=2), name=f"pc{bit}")
+    oport = stored[1]
+    for bit in range(width):
+        b.output(b.buf(oport[bit], drive=2), name=f"oport{bit}")
+    return b.build()
+
+
+def build_loadstore_core(microarch="SC", name=None, width=4):
+    """Two-operand load-store core (Section 6.2) with the revised ops.
+
+    Single-cycle and pipelined variants need a second register-file read
+    port; the multicycle variant reads operands over two cycles through
+    one port plus an operand holding register -- the paper's explanation
+    for why load-store + multicycle is the *small* load-store design.
+    """
+    name = name or f"loadstore-{microarch.lower()}"
+    b = NetlistBuilder(name)
+    words = 8
+
+    b.set_module("io")
+    instr = b.input_bus("instr", 16)
+    iport = b.input_bus("iport", width)
+
+    b.set_module("decoder")
+    # R/I/branch format decode plus minor-opcode one-hots.
+    top0, top1 = instr[15], instr[14]
+    is_r = b.and_(b.inv(top0), b.inv(top1))
+    is_i = b.and_(b.inv(top0), top1)
+    minor = instr[8:12]
+    for index in range(12):
+        b.and_tree([
+            minor[bit] if (index >> bit) & 1 else b.inv(minor[bit])
+            for bit in range(4)
+        ])
+    reg_we = b.or_(is_r, is_i)
+
+    rd_addr = instr[4:7]
+    rs_addr = instr[0:3]
+    result = [b.net(f"res{i}") for i in range(width)]
+
+    second_port = microarch in ("SC", "P")
+    if not second_port:
+        b.set_module("control")
+        # Operand holding register for the serialized second read.
+        hold_inputs = [
+            b.buf(iport[i % len(iport)]) for i in range(width)
+        ]
+        held = b.register(hold_inputs)
+
+    stored, ports = _memory(
+        b, width, words,
+        read_ports=2 if second_port else 1,
+        write_enable=reg_we, write_data=result,
+        addr_bits_nets=rd_addr, iport=None,
+        second_addr_nets=rs_addr,
+    )
+    a_operand = ports[0]
+    b_operand = ports[1] if second_port else held
+
+    # -- ALU: the full revised operation set ---------------------------------
+    b.set_module("alu")
+    imm = instr[:width]
+    operand = [b.mux(b_operand[i], imm[i], is_i) for i in range(width)]
+    sub_sel = b.and_(minor[1], b.inv(minor[2]))
+    operand_adder = [b.xor(bit, sub_sel) for bit in operand]
+    carry_q = b.net("ls_carry")
+    cin = b.mux(sub_sel, carry_q, minor[0])
+    sums, cout, props, nands = b.ripple_adder(a_operand, operand_adder, cin)
+    b.dff(b.mux(carry_q, cout, reg_we), out=carry_q)
+    ors = [b.or_(a_operand[i], operand[i]) for i in range(width)]
+    ands = [b.inv(nands[i]) for i in range(width)]
+    stage1 = b.mux4_word([sums, nands, props, operand], minor[0], minor[1])
+    stage2 = b.mux4_word([ors, ands, ors, operand], minor[0], minor[1])
+    alu_out = b.mux_word(stage1, stage2, minor[2])
+    b.set_module("shifter")
+    arith = b.and_(minor[0], minor[3])
+    shifted = b.barrel_shifter_right(a_operand, [instr[0], instr[1]],
+                                     arithmetic_sel=arith)
+    b.set_module("alu")
+    alu_out = b.mux_word(alu_out, shifted, b.and_(minor[3], minor[2]))
+    for i in range(width):
+        b.buf(alu_out[i], out=result[i])
+
+    # -- branch / call / ret ---------------------------------------------------
+    b.set_module("decoder")
+    test = a_operand
+    zero = b.nor_tree_is_zero(test)
+    negative = test[width - 1]
+    positive = b.and_(b.inv(negative), b.inv(zero))
+    nzp = instr[10:13]
+    is_branch = b.and_tree([b.inv(top0), b.inv(top1), instr[13]])
+    taken = b.and_(is_branch, b.or_tree([
+        b.and_(nzp[2], negative),
+        b.and_(nzp[1], zero),
+        b.and_(nzp[0], positive),
+    ]))
+    b.set_module("retaddr")
+    call_strobe = b.and_(top0, b.inv(instr[8]))
+    retaddr = [b.dff(b.mux(instr[i], instr[i], call_strobe))
+               for i in range(7)]
+    ret_sel = b.and_(top0, instr[8])
+
+    pc_q = _pc_block(b, instr, taken, extra_source=retaddr,
+                     extra_sel=ret_sel)
+
+    # -- output port register ----------------------------------------------
+    b.set_module("io")
+    out_we = b.and_(is_r, b.and_(minor[3], minor[2]))
+    oport = b.register(a_operand, enable=out_we)
+
+    _microarch_overhead(b, microarch, instr_bits=16)
+
+    b.set_module("io")
+    for bit in range(7):
+        b.output(b.buf(pc_q[bit], drive=2), name=f"pc{bit}")
+    for bit in range(width):
+        b.output(b.buf(oport[bit], drive=2), name=f"oport{bit}")
+    return b.build()

@@ -1,0 +1,113 @@
+"""Structural Verilog export.
+
+The paper's flow is "Verilog HDL ... synthesized to a 0.8 um IGZO cell
+library" and on to GDSII (Figure 1); this module closes the loop in the
+other direction, emitting our gate-level netlists as structural Verilog
+that instantiates the thirteen library cells.  The output is what would
+be handed to place & route -- and it doubles as human-readable
+documentation of exactly what we built.
+
+A behavioral model of each library cell is included (`cell_models()`),
+so the exported netlist is simulable by any Verilog simulator.
+"""
+
+import re
+
+from repro.tech.cells import LIBRARY
+
+#: Verilog primitives implementing each cell function.
+_CELL_BODIES = {
+    "buf": "  assign y = a;",
+    "inv": "  assign y = ~a;",
+    "nand2": "  assign y = ~(a & b);",
+    "nor2": "  assign y = ~(a | b);",
+    "xor2": "  assign y = a ^ b;",
+    "xnor2": "  assign y = ~(a ^ b);",
+    "mux2": "  assign y = s ? b : a;",
+    "dff": (
+        "  always @(posedge clk) q <= d;"
+    ),
+}
+
+_PORTS = {
+    "buf": ("a",), "inv": ("a",),
+    "nand2": ("a", "b"), "nor2": ("a", "b"),
+    "xor2": ("a", "b"), "xnor2": ("a", "b"),
+    "mux2": ("a", "b", "s"),
+    "dff": ("d",),
+}
+
+
+def _sanitize(name):
+    """Make a net/instance name Verilog-safe."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not re.match(r"^[A-Za-z_]", cleaned):
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+def cell_models():
+    """Behavioral Verilog for the thirteen library cells."""
+    modules = []
+    for cell in sorted(LIBRARY.values(), key=lambda c: c.name):
+        ports = _PORTS[cell.function]
+        if cell.sequential:
+            header = (
+                f"module {cell.name} (input clk, input d, "
+                f"output reg q);"
+            )
+            body = _CELL_BODIES["dff"]
+        else:
+            port_list = ", ".join(f"input {p}" for p in ports)
+            header = f"module {cell.name} ({port_list}, output y);"
+            body = _CELL_BODIES[cell.function]
+        modules.append(f"{header}\n{body}\nendmodule")
+    return "\n\n".join(modules)
+
+
+def to_verilog(netlist, include_models=False):
+    """Emit a netlist as structural Verilog."""
+    inputs = [_sanitize(net) for net in netlist.inputs]
+    outputs = [_sanitize(net) for net in netlist.outputs]
+    lines = []
+    lines.append(f"// {netlist.name}: {netlist.gate_count} cells, "
+                 f"{netlist.nand2_area:.0f} NAND2-equivalent units")
+    port_decl = ["input clk"]
+    port_decl += [f"input {name}" for name in inputs]
+    port_decl += [f"output {name}" for name in outputs]
+    lines.append(f"module {_sanitize(netlist.name)} (")
+    lines.append("  " + ",\n  ".join(port_decl))
+    lines.append(");")
+
+    declared = set(inputs) | set(outputs)
+    wires = []
+    for gate in netlist.gates:
+        name = _sanitize(gate.output)
+        if name not in declared:
+            wires.append(name)
+            declared.add(name)
+    for net, value in netlist.constants.items():
+        lines.append(f"  wire {_sanitize(net)} = 1'b{value};")
+    if wires:
+        lines.append("  wire " + ", ".join(sorted(wires)) + ";")
+
+    for gate in netlist.gates:
+        ports = _PORTS[gate.cell.function]
+        connections = [
+            f".{port}({_sanitize(net)})"
+            for port, net in zip(ports, gate.inputs)
+        ]
+        if gate.sequential:
+            connections = [".clk(clk)"] + connections
+            connections.append(f".q({_sanitize(gate.output)})")
+        else:
+            connections.append(f".y({_sanitize(gate.output)})")
+        lines.append(
+            f"  {gate.cell.name} {_sanitize(gate.name)} ("
+            + ", ".join(connections) + f");  // {gate.module}"
+        )
+    lines.append("endmodule")
+    text = "\n".join(lines)
+    if include_models:
+        text = cell_models() + "\n\n" + text
+    return text

@@ -1,0 +1,82 @@
+"""Text floorplans: the die overlays of Figure 4, in ASCII.
+
+The paper's die photos carry module-area overlays ("each chip has a
+different ratio of areas allocated to its components").  This renderer
+draws a proportional block diagram of a netlist's module areas, plus the
+area/power legend -- a quick visual answer to "where did the silicon
+go?" for any core, fabricated or explored.
+"""
+
+from repro.netlist.core import Netlist
+
+#: Render order: big datapath blocks first, glue last.
+_PREFERRED_ORDER = (
+    "memory", "alu", "pc", "acc", "decoder", "shifter", "multiplier",
+    "retaddr", "control", "io", "core",
+)
+
+
+def _ordered_modules(breakdown):
+    known = [m for m in _PREFERRED_ORDER if m in breakdown]
+    extra = sorted(set(breakdown) - set(known))
+    return known + extra
+
+
+def render(netlist: Netlist, width=60, height=14):
+    """Proportional ASCII floorplan of the netlist's modules.
+
+    Modules are stacked as horizontal slabs whose heights track their
+    area fractions (minimum one row each), each labeled with its name
+    and area share.
+    """
+    breakdown = netlist.module_breakdown()
+    modules = _ordered_modules(breakdown)
+    total_rows = max(height, len(modules))
+    # Largest-remainder allocation of rows to modules.
+    fractions = [breakdown[m]["area_fraction"] for m in modules]
+    exact = [f * total_rows for f in fractions]
+    rows = [max(1, int(e)) for e in exact]
+    while sum(rows) > total_rows and max(rows) > 1:
+        rows[rows.index(max(rows))] -= 1
+    while sum(rows) < total_rows:
+        remainders = [e - r for e, r in zip(exact, rows)]
+        rows[remainders.index(max(remainders))] += 1
+
+    horizontal = "+" + "-" * (width - 2) + "+"
+    lines = [f"{netlist.name}: {netlist.nand2_area:.0f} NAND2-eq, "
+             f"{netlist.area_mm2:.2f} mm^2",
+             horizontal]
+    for module, row_count in zip(modules, rows):
+        entry = breakdown[module]
+        label = (f" {module}  {100 * entry['area_fraction']:.1f}% area, "
+                 f"{entry['gates']} cells")
+        for index in range(row_count):
+            body = label if index == (row_count - 1) // 2 else ""
+            lines.append("|" + body.ljust(width - 2) + "|")
+        lines.append(horizontal)
+    return "\n".join(lines)
+
+
+def compare(netlists, width=60):
+    """Side-by-side module-share table for several cores (the Figure 4
+    observation that each chip allocates area differently)."""
+    breakdowns = {nl.name: nl.module_breakdown() for nl in netlists}
+    modules = []
+    for breakdown in breakdowns.values():
+        for module in _ordered_modules(breakdown):
+            if module not in modules:
+                modules.append(module)
+    header = f"{'module':<12}" + "".join(
+        f"{name[:14]:>16}" for name in breakdowns
+    )
+    lines = [header]
+    for module in modules:
+        cells = []
+        for breakdown in breakdowns.values():
+            entry = breakdown.get(module)
+            cells.append(
+                f"{100 * entry['area_fraction']:>15.1f}%" if entry
+                else f"{'-':>16}"
+            )
+        lines.append(f"{module:<12}" + "".join(cells))
+    return "\n".join(lines)

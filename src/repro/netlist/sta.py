@@ -1,0 +1,114 @@
+"""Static timing analysis over the gate-level netlist.
+
+Computes the longest register-to-register (or port-to-register)
+combinational path by summing normalized cell delays in topological
+order, then converts it to an achievable clock frequency at a supply
+voltage using the technology delay model.  This is what makes the
+FlexiCore8-at-3V yield collapse of Section 4.1 emerge from the model:
+its 8-bit ripple-carry chain is twice FlexiCore4's, and the 3 V delay
+factor pushes it past the 12.5 kHz budget for most process corners.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.netlist.sim import GateLevelSimulator
+from repro.tech import tft
+from repro.tech.cells import SECONDS_PER_DELAY_UNIT
+
+
+#: Delay of one external program-memory fetch, in normalized units.
+#: FlexiCores fetch every instruction off-chip (Section 3.5), so a
+#: single-cycle machine's period is fetch + core critical path; splitting
+#: the two is exactly what the Section 6.2 two-stage pipeline buys.
+FETCH_DELAY_UNITS = 12.0
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Critical-path summary of a netlist."""
+
+    netlist_name: str
+    critical_delay_units: float
+    critical_path: Tuple[str, ...]  # gate names along the worst path
+    levels: int
+
+    def period_s(self, vdd=tft.VDD_NOMINAL, speed_factor=1.0,
+                 include_fetch=True):
+        """Single-cycle clock period at ``vdd`` for a die with the given
+        per-die process speed factor (>1 = slow die)."""
+        units = self.critical_delay_units
+        if include_fetch:
+            units += FETCH_DELAY_UNITS
+        return (
+            units
+            * SECONDS_PER_DELAY_UNIT
+            * tft.delay_factor(vdd)
+            * speed_factor
+        )
+
+    def fmax_hz(self, vdd=tft.VDD_NOMINAL, speed_factor=1.0):
+        return 1.0 / self.period_s(vdd, speed_factor)
+
+    def meets(self, frequency_hz, vdd=tft.VDD_NOMINAL, speed_factor=1.0):
+        """Would a die with this corner pass at ``frequency_hz``?"""
+        return self.fmax_hz(vdd, speed_factor) >= frequency_hz
+
+
+def analyze(netlist):
+    """Longest-path analysis.  Endpoints are DFF D-inputs and primary
+    outputs; start points are DFF Q-outputs and primary inputs (all at
+    arrival time 0, plus the DFF clock-to-q delay)."""
+    # Reuse the simulator's levelization (and its loop check).
+    order = GateLevelSimulator(netlist)._order
+
+    arrival = {net: 0.0 for net in netlist.inputs}
+    arrival.update({net: 0.0 for net in netlist.constants})
+    from_gate = {}
+    clk_to_q = 0.0
+    for gate in netlist.gates:
+        if gate.sequential:
+            arrival[gate.output] = gate.cell.delay  # clock-to-q
+            from_gate[gate.output] = None
+
+    for gate in order:
+        at = max(arrival.get(net, 0.0) for net in gate.inputs)
+        arrival[gate.output] = at + gate.cell.delay
+        worst = max(
+            (net for net in gate.inputs),
+            key=lambda net: arrival.get(net, 0.0),
+        )
+        from_gate[gate.output] = (gate, worst)
+
+    # Endpoints: D pins of flops (+ setup ~ one mux delay) and outputs.
+    best_net, best_delay = None, 0.0
+    for gate in netlist.gates:
+        if gate.sequential:
+            delay = arrival.get(gate.inputs[0], 0.0)
+            if delay > best_delay:
+                best_delay, best_net = delay, gate.inputs[0]
+    for net in netlist.outputs:
+        delay = arrival.get(net, 0.0)
+        if delay > best_delay:
+            best_delay, best_net = delay, net
+
+    # Walk the worst path back for the report.
+    path: List[str] = []
+    levels = 0
+    net = best_net
+    while net is not None and net in from_gate:
+        entry = from_gate[net]
+        if entry is None:
+            break
+        gate, previous = entry
+        path.append(gate.name)
+        levels += 1
+        net = previous
+    path.reverse()
+
+    return TimingReport(
+        netlist_name=netlist.name,
+        critical_delay_units=best_delay,
+        critical_path=tuple(path),
+        levels=levels,
+    )

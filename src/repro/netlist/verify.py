@@ -1,0 +1,116 @@
+"""Gate-level vs ISA-level cross-verification (the Section 4.1 test flow).
+
+The paper derives chip test vectors from RTL simulation and counts a die
+functional only when every output of every cycle matches.  We do the
+same in software: drive the gate-level netlist and the ISA simulator
+with the same program and inputs, and compare the PC and OPORT pins at
+every instruction boundary.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.netlist.sim import GateLevelSimulator
+from repro.sim.memory import ProgramMemory
+
+
+@dataclass
+class CrossCheckResult:
+    cycles: int
+    mismatches: int
+    first_mismatch: Optional[str]
+    toggle_fraction: float
+    mean_toggles: float
+
+    @property
+    def passed(self):
+        return self.mismatches == 0
+
+
+def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
+                    fault=None):
+    """Run ``program`` on both models, comparing PC and OPORT.
+
+    ``inputs`` is a list of IPORT samples presented as a held level and
+    advanced once per architectural read (matching the functional
+    model's pop semantics).  ``fault`` optionally injects a stuck-at
+    fault: a ``(gate_name, value)`` pair forcing that gate's output --
+    used by the yield model's fault-detection tests.
+
+    Only single-page programs can be cross-checked (the gate-level core
+    is the bare die; the MMU is a separate component).
+    """
+    from repro.isa.state import IPORT_ADDR
+
+    image = program.image() if hasattr(program, "image") else bytes(program)
+    if len(image) > 128:
+        raise ValueError("cross-check supports single-page programs only")
+
+    gate_sim = GateLevelSimulator(netlist)
+    if fault is not None:
+        gate_name, stuck = fault
+        gate_sim.inject_fault(gate_name, stuck)
+
+    state = isa.new_state()
+    input_values = list(inputs or [])
+    cursor = {"gate": 0, "isa": 0}
+
+    def isa_input():
+        if cursor["isa"] < len(input_values):
+            value = input_values[cursor["isa"]]
+            cursor["isa"] += 1
+            return value
+        return 0
+
+    state.input_fn = isa_input
+
+    mismatches = 0
+    first = None
+    width = isa.word_bits
+
+    for instruction_index in range(max_instructions):
+        # ---- compare architectural state at the boundary ----
+        gate_pc = gate_sim.read_bus("pc")
+        gate_oport = gate_sim.read_bus("oport", width)
+        isa_oport = state.mem[1]
+        if gate_pc != state.pc or gate_oport != isa_oport:
+            mismatches += 1
+            if first is None:
+                first = (
+                    f"instruction {instruction_index}: "
+                    f"pc gate={gate_pc} isa={state.pc}, "
+                    f"oport gate={gate_oport} isa={isa_oport}"
+                )
+        # ---- step the ISA model ----
+        decoded = isa.decode(
+            image + bytes(4), state.pc  # wrap margin
+        )
+        # Present the IPORT value this instruction would read, if any.
+        gate_input = 0
+        will_read_input = decoded.mnemonic != "store" and any(
+            spec.kind.name == "MEMADDR" and operand == IPORT_ADDR
+            for spec, operand in zip(decoded.spec.operands, decoded.operands)
+        )
+        if will_read_input and cursor["gate"] < len(input_values):
+            gate_input = input_values[cursor["gate"]]
+            cursor["gate"] += 1
+        isa.execute(state, decoded)
+        # ---- step the gate-level core, one cycle per fetched byte ----
+        for byte_offset in range(decoded.size):
+            address = (decoded.address + byte_offset) % 128
+            gate_sim.set_inputs({
+                "instr": image[address] if address < len(image) else 0,
+                "iport": gate_input,
+            })
+            gate_sim.step()
+        if state.halted:
+            break
+
+    toggled, mean = gate_sim.toggle_coverage()
+    return CrossCheckResult(
+        cycles=gate_sim.cycles,
+        mismatches=mismatches,
+        first_mismatch=first,
+        toggle_fraction=toggled,
+        mean_toggles=mean,
+    )

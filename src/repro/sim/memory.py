@@ -1,0 +1,54 @@
+"""Program memory for FlexiCore systems.
+
+FlexiCores store programs off-chip (Section 3.5): instructions arrive over
+a dedicated instruction bus, and the 7-bit PC addresses one 128-byte page.
+:class:`ProgramMemory` models the external memory chip; when paired with
+an :class:`~repro.sim.mmu.Mmu` it serves multi-page programs.
+"""
+
+from repro.asm.assembler import MAX_PAGES, PAGE_SIZE
+
+
+class ProgramMemory:
+    """External program memory, optionally behind an MMU page register."""
+
+    def __init__(self, image, mmu=None):
+        """``image`` is a flat bytes object; page p occupies
+        ``image[p*128:(p+1)*128]``."""
+        if len(image) > MAX_PAGES * PAGE_SIZE:
+            raise ValueError(
+                f"image of {len(image)} bytes exceeds the "
+                f"{MAX_PAGES}-page address space"
+            )
+        self._image = bytes(image)
+        self.mmu = mmu
+
+    @classmethod
+    def from_program(cls, program, mmu=None):
+        return cls(program.image(), mmu)
+
+    @property
+    def image(self):
+        return self._image
+
+    @property
+    def pages(self):
+        return (len(self._image) + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def current_page(self):
+        return self.mmu.page if self.mmu is not None else 0
+
+    def fetch_window(self, pc):
+        """Return (flat_base_address, bytes) for one instruction fetch.
+
+        Called once per instruction; advances the MMU's page-switch delay
+        counter.  The returned window is long enough for the longest
+        instruction and wraps within the page, like the hardware PC does.
+        """
+        page = self.mmu.on_fetch() if self.mmu is not None else 0
+        base = page * PAGE_SIZE
+        window = bytearray()
+        for i in range(4):  # longest instruction is 2 bytes; margin for wrap
+            addr = base + ((pc + i) & (PAGE_SIZE - 1))
+            window.append(self._image[addr] if addr < len(self._image) else 0)
+        return base + (pc & (PAGE_SIZE - 1)), bytes(window)

@@ -1,0 +1,136 @@
+"""The off-chip memory-management unit of Section 5.1.
+
+Programs larger than the 128 instructions a 7-bit PC can address (e.g.
+Calculator at 352 static instructions) rely on an off-chip MMU: a
+finite-state transducer watching the FlexiCore's output port plus a
+four-bit page register.  When the transducer recognizes a specific value
+sequence on OPORT, it latches the next written value into the page
+register "after a short delay", extending the program space to sixteen
+128-instruction pages.
+
+Protocol (chosen here; the paper does not publish one):
+
+1. software writes the sentinel (0xA on a 4-bit port, 0xAA on an 8-bit
+   port) to OPORT at least :data:`ARM_COUNT` times in a row -- further
+   sentinel writes extend the run harmlessly;
+2. the first *non-sentinel* write after an arming run is the new page
+   number (consequently page 0xA cannot be selected through a 4-bit MMU
+   -- the suite never places code there);
+3. the page register updates after a short delay: the two instructions
+   *after* the page write still fetch from the old page, giving software
+   room to execute the in-page branch that lands it at the desired
+   location of the new page (the ``%farjump`` macro emits exactly this).
+
+Like the NES memory-mapper controllers the paper cites, the escape
+sequence rides on the normal output bus, so the transducer must coexist
+with programs that emit the sentinel as data.  The run-based design makes
+this safe under one discipline, which every multi-page kernel in the
+suite satisfies: *a program must never emit the sentinel as data
+``ARM_COUNT`` times in a row* (Calculator transactions are (value, flag)
+pairs that cannot produce three 0xA in a row; Decision Tree labels stay
+below 8; XorShift8's output stream is checked by the test suite to be
+run-free).  A data sentinel immediately preceding a real escape simply
+lengthens the run: when the page write arrives, the transducer forwards
+the ``run - ARM_COUNT`` leading sentinels downstream as the data they
+were.
+"""
+
+#: Consecutive sentinel writes required to arm the page latch.
+ARM_COUNT = 3
+#: Fetches of delay between the page write and the new page taking effect.
+PAGE_SWITCH_DELAY = 2
+
+
+class Mmu:
+    """Finite-state page-switch transducer.
+
+    Parameters
+    ----------
+    port_width:
+        OPORT width in bits (4 or 8); sets the sentinel value.
+    forward_escapes:
+        When False (default), arming/page writes are consumed by the MMU
+        and not forwarded to the downstream sink.
+    """
+
+    def __init__(self, port_width=4, forward_escapes=False,
+                 arm_count=ARM_COUNT):
+        self.sentinel = 0xA if port_width <= 4 else 0xAA
+        self.forward_escapes = forward_escapes
+        self.arm_count = arm_count
+        self.page = 0
+        self.page_switches = 0
+        self._run = 0
+        self._pending_page = None
+        self._pending_delay = 0
+        self._sink = None
+
+    def attach(self, sink):
+        """Interpose this MMU in front of an output callable/sink."""
+        self._sink = sink
+        return self
+
+    @property
+    def armed(self):
+        return self._run >= self.arm_count
+
+    # -- core-facing interface -------------------------------------------
+
+    def observe_output(self, value):
+        """Called for every OPORT write; runs the transducer."""
+        if value == self.sentinel:
+            self._run += 1
+            if self.forward_escapes:
+                self._forward(value)
+            return
+        if self.armed:
+            # Page write.  Leading sentinels beyond the arm count were
+            # program data that happened to precede the escape.
+            if not self.forward_escapes:
+                for _ in range(self._run - self.arm_count):
+                    self._forward(self.sentinel)
+            else:
+                self._forward(value)
+            self._pending_page = value & 0xF
+            self._pending_delay = PAGE_SWITCH_DELAY
+            self.page_switches += 1
+            self._run = 0
+            return
+        # Short run: the withheld sentinels were ordinary data.
+        if not self.forward_escapes:
+            for _ in range(self._run):
+                self._forward(self.sentinel)
+        self._run = 0
+        self._forward(value)
+
+    def _forward(self, value):
+        if self._sink is None:
+            return
+        if callable(self._sink):
+            self._sink(value)
+        else:
+            self._sink.write(value)
+
+    # -- fetch-side interface ---------------------------------------------
+
+    def on_fetch(self):
+        """Advance the page-switch delay; called once per instruction fetch.
+
+        Returns the page the *current* fetch should use.
+        """
+        current = self.page
+        if self._pending_page is not None:
+            if self._pending_delay == 0:
+                self.page = self._pending_page
+                self._pending_page = None
+                current = self.page
+            else:
+                self._pending_delay -= 1
+        return current
+
+    def reset(self):
+        self.page = 0
+        self.page_switches = 0
+        self._run = 0
+        self._pending_page = None
+        self._pending_delay = 0

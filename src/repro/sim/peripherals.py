@@ -1,0 +1,117 @@
+"""IO peripherals attached to FlexiCore's asynchronous input/output buses.
+
+The FlexiCore IO model (Section 3.3) is two unidirectional buses: reads of
+data address 0 sample IPORT, writes to data address 1 drive OPORT.  The
+peripherals here cover everything the benchmark suite needs:
+
+- :class:`InputStream` -- a sensor/user feeding one value per read
+  (pop semantics: each IPORT read consumes the next sample).
+- :class:`HeldInput` -- a level-driven input that holds a value until the
+  test bench changes it (multiple reads see the same sample).
+- :class:`OutputSink` -- records every OPORT write with its cycle number.
+"""
+
+
+class InputExhausted(Exception):
+    """An :class:`InputStream` was read past its last sample."""
+
+
+class InputStream:
+    """Sequential input samples; each IPORT read pops one.
+
+    Parameters
+    ----------
+    samples:
+        Iterable of integers (masked to the port width by the core).
+    on_exhausted:
+        ``"raise"`` (default) aborts the simulation -- the harness uses
+        this to stop streaming kernels after N inputs; ``"hold"`` keeps
+        returning the final sample; ``"zero"`` returns 0.
+    """
+
+    def __init__(self, samples, on_exhausted="raise"):
+        if on_exhausted not in ("raise", "hold", "zero"):
+            raise ValueError(f"bad on_exhausted: {on_exhausted!r}")
+        self._samples = list(samples)
+        self._index = 0
+        self.on_exhausted = on_exhausted
+
+    def __call__(self):
+        if self._index < len(self._samples):
+            value = self._samples[self._index]
+            self._index += 1
+            return value
+        if self.on_exhausted == "raise":
+            raise InputExhausted(
+                f"input stream exhausted after {len(self._samples)} samples"
+            )
+        if self.on_exhausted == "hold" and self._samples:
+            return self._samples[-1]
+        return 0
+
+    @property
+    def consumed(self):
+        return self._index
+
+    @property
+    def remaining(self):
+        return len(self._samples) - self._index
+
+
+class HeldInput:
+    """A level-driven input bus: reads return the current level."""
+
+    def __init__(self, value=0):
+        self.value = value
+        self.reads = 0
+
+    def set(self, value):
+        self.value = value
+
+    def __call__(self):
+        self.reads += 1
+        return self.value
+
+
+class OutputSink:
+    """Records OPORT writes; the simulator stamps each with its cycle."""
+
+    def __init__(self):
+        self.values = []
+        self.cycles = []
+        self._clock = lambda: 0
+
+    def bind_clock(self, clock_fn):
+        self._clock = clock_fn
+
+    def write(self, value):
+        self.values.append(value)
+        self.cycles.append(self._clock())
+
+    def __call__(self, value):
+        self.write(value)
+
+    def __len__(self):
+        return len(self.values)
+
+    def last(self):
+        if not self.values:
+            raise IndexError("no output written yet")
+        return self.values[-1]
+
+    def clear(self):
+        self.values.clear()
+        self.cycles.clear()
+
+    def as_bytes(self, width=4, order="little"):
+        """Group consecutive values into wider words (e.g. two nibbles into
+        a byte), for kernels that emit multi-word results."""
+        if len(self.values) % 2:
+            raise ValueError("odd number of output values")
+        result = []
+        for i in range(0, len(self.values), 2):
+            lo, hi = self.values[i], self.values[i + 1]
+            if order == "big":
+                lo, hi = hi, lo
+            result.append((hi << width) | lo)
+        return result

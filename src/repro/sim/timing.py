@@ -1,0 +1,135 @@
+"""Microarchitecture timing models (Sections 3.4 and 6.2).
+
+The functional simulator reports *what* executed; these models translate
+that into cycle counts for each microarchitecture the paper explores:
+
+- **single-cycle (SC)** -- the fabricated FlexiCores: one instruction per
+  cycle provided the program bus delivers a whole instruction per cycle.
+- **two-stage pipeline (P)** -- fetch | decode+execute, with a one-cycle
+  flush on every taken branch.
+- **multicycle (MC)** -- separate fetch and execute cycles (the ALU adder
+  is reused to increment the PC, which is why fetch and execute cannot
+  overlap); the paper notes this "would double the core's CPI".
+
+Every model takes the program-bus width: with FlexiCore's 8-bit bus a
+16-bit load-store instruction needs two fetch cycles, which is what makes
+the single-cycle and pipelined load-store machines infeasible in
+Figure 13's "(Bus)" configuration.
+"""
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class MicroArch(enum.Enum):
+    SINGLE_CYCLE = "SC"
+    PIPELINED = "P"
+    MULTICYCLE = "MC"
+
+
+class InfeasibleDesign(Exception):
+    """The microarchitecture cannot be built under the given constraints
+    (e.g. single-cycle execution with a bus narrower than an instruction).
+    """
+
+
+def _fetch_cycle_histogram(stats, bus_bits):
+    """Map instruction-size (bytes) counts to per-instruction fetch cycles."""
+    histogram = {}
+    for size, count in stats.by_size.items():
+        cycles = max(1, math.ceil(size * 8 / bus_bits))
+        histogram[cycles] = histogram.get(cycles, 0) + count
+    return histogram
+
+
+def requires_multicycle_fetch(isa, bus_bits):
+    """True when some instruction of ``isa`` cannot be fetched in a cycle."""
+    max_size = max(spec.size for spec in isa.specs.values())
+    return max_size * 8 > bus_bits
+
+
+def cycles_single_cycle(stats, bus_bits=8, strict=False):
+    """Cycle count on a single-cycle machine.
+
+    With ``strict=True``, raises :class:`InfeasibleDesign` if any executed
+    instruction needed more than one fetch cycle -- a single-cycle machine
+    has no state to hold a partial fetch (Section 3.4: FlexiCore avoids
+    bus multiplexing precisely to stay single-cycle).
+    """
+    histogram = _fetch_cycle_histogram(stats, bus_bits)
+    if strict and any(cycles > 1 for cycles in histogram):
+        raise InfeasibleDesign(
+            f"single-cycle machine with a {bus_bits}-bit bus cannot fetch "
+            f"multi-cycle instructions"
+        )
+    return sum(cycles * count for cycles, count in histogram.items())
+
+
+def cycles_pipelined(stats, bus_bits=8, branch_penalty=1, strict=False):
+    """Cycle count on a two-stage (fetch | decode-execute) pipeline.
+
+    Execution overlaps the next fetch, so throughput is limited by fetch
+    bandwidth; each taken branch flushes the fetched-but-not-executed
+    instruction (``branch_penalty`` cycles) and one cycle fills the pipe.
+    """
+    histogram = _fetch_cycle_histogram(stats, bus_bits)
+    if strict and any(cycles > 1 for cycles in histogram):
+        raise InfeasibleDesign(
+            f"a 2-stage pipeline with a {bus_bits}-bit bus cannot sustain "
+            f"one instruction per cycle"
+        )
+    fetch_cycles = sum(cycles * count for cycles, count in histogram.items())
+    return fetch_cycles + branch_penalty * stats.taken_branches + 1
+
+
+def cycles_multicycle(stats, bus_bits=8, execute_cycles=1):
+    """Cycle count on a multicycle machine: per-instruction fetch cycles
+    plus ``execute_cycles`` non-overlapped execute cycles."""
+    histogram = _fetch_cycle_histogram(stats, bus_bits)
+    fetch_cycles = sum(cycles * count for cycles, count in histogram.items())
+    return fetch_cycles + execute_cycles * stats.instructions
+
+
+def cycle_count(stats, microarch, bus_bits=8, strict=False):
+    """Dispatch on :class:`MicroArch`."""
+    if microarch == MicroArch.SINGLE_CYCLE:
+        return cycles_single_cycle(stats, bus_bits, strict=strict)
+    if microarch == MicroArch.PIPELINED:
+        return cycles_pipelined(stats, bus_bits, strict=strict)
+    if microarch == MicroArch.MULTICYCLE:
+        return cycles_multicycle(stats, bus_bits)
+    raise ValueError(f"unknown microarchitecture {microarch}")
+
+
+@dataclass(frozen=True)
+class ExecutionEstimate:
+    """Cycles mapped to wall-clock time and energy at a given operating
+    point (static-power-dominated, per Section 3.1)."""
+
+    cycles: int
+    frequency_hz: float
+    static_power_w: float
+
+    @property
+    def time_s(self):
+        return self.cycles / self.frequency_hz
+
+    @property
+    def energy_j(self):
+        # >99% of 0.8um IGZO power is static: energy is power x time.
+        return self.static_power_w * self.time_s
+
+    @property
+    def energy_per_cycle_j(self):
+        return self.static_power_w / self.frequency_hz
+
+
+def estimate(stats, microarch, frequency_hz, static_power_w, bus_bits=8,
+             strict=False):
+    """Build an :class:`ExecutionEstimate` for a run."""
+    return ExecutionEstimate(
+        cycles=cycle_count(stats, microarch, bus_bits, strict=strict),
+        frequency_hz=frequency_hz,
+        static_power_w=static_power_w,
+    )

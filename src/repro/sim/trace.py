@@ -1,0 +1,111 @@
+"""Execution tracing: cycle-by-cycle visibility into a simulated core.
+
+Wraps a :class:`~repro.sim.simulator.Simulator` and records, for every
+instruction: the page/PC, the disassembly, and the architectural state
+after execution.  Useful for debugging kernels and for the docs'
+worked examples; the formatter mirrors the waveform-style presentation
+of the paper's Figure 5c.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    index: int
+    page: int
+    pc: int
+    text: str
+    acc: int
+    carry: int
+    mem: Tuple[int, ...]
+    size: int
+    oport: Optional[int]  # value written this step, if any
+
+    def __str__(self):
+        output = f" -> OPORT={self.oport:#x}" if self.oport is not None \
+            else ""
+        return (
+            f"{self.index:5d}  {self.page}:{self.pc:<3d} "
+            f"{self.text:<14} acc={self.acc:#3x} c={self.carry} "
+            f"mem={list(self.mem)}{output}"
+        )
+
+
+class Tracer:
+    """Records a bounded window of execution."""
+
+    def __init__(self, simulator: Simulator, limit=10_000):
+        self.simulator = simulator
+        self.limit = limit
+        self.entries: List[TraceEntry] = []
+        self._writes_seen = 0
+
+    def run(self, max_cycles=100_000):
+        """Run the wrapped simulator to completion, tracing each step."""
+        simulator = self.simulator
+        state = simulator.state
+        while (not state.halted
+               and simulator.stats.instructions < max_cycles):
+            page = simulator.memory.current_page()
+            pc_before = state.pc
+            writes_before = state.io_writes
+            try:
+                decoded = simulator.step()
+            except Exception:
+                raise
+            oport = None
+            if state.io_writes > writes_before:
+                oport = state.mem[1]
+            if len(self.entries) < self.limit:
+                self.entries.append(TraceEntry(
+                    index=simulator.stats.instructions - 1,
+                    page=page,
+                    pc=pc_before,
+                    text=decoded.text(),
+                    acc=state.acc,
+                    carry=state.carry,
+                    mem=tuple(state.mem),
+                    size=decoded.size,
+                    oport=oport,
+                ))
+        return self.entries
+
+    def text(self, first=0, count=None):
+        entries = self.entries[first:]
+        if count is not None:
+            entries = entries[:count]
+        return "\n".join(str(entry) for entry in entries)
+
+    def taken_branch_targets(self):
+        """PCs reached by taken branches -- handy for coverage checks."""
+        targets = []
+        previous = None
+        for entry in self.entries:
+            if previous is not None and entry.pc != (
+                previous.pc + previous.size
+            ) % 128:
+                targets.append(entry.pc)
+            previous = entry
+        return targets
+
+
+def trace_program(program, isa=None, inputs=None, max_cycles=100_000,
+                  limit=10_000):
+    """One-shot convenience: trace a program, return (entries, outputs)."""
+    from repro.sim.peripherals import InputStream, OutputSink
+    from repro.sim.simulator import Simulator
+
+    if isa is None:
+        isa = program.isa
+    sink = OutputSink()
+    input_fn = None
+    if inputs is not None:
+        input_fn = InputStream(inputs, on_exhausted="hold")
+    simulator = Simulator(isa, program, input_fn=input_fn, output=sink)
+    tracer = Tracer(simulator, limit=limit)
+    tracer.run(max_cycles=max_cycles)
+    return tracer, sink.values

@@ -1,0 +1,45 @@
+"""0.8 um IGZO technology models: devices, standard cells, power."""
+
+from repro.tech import tft
+from repro.tech.cells import (
+    LIBRARY,
+    MM2_PER_NAND2,
+    SECONDS_PER_DELAY_UNIT,
+    WATTS_PER_PULLUP_AT_4V5,
+    Cell,
+    cells_by_function,
+    default_cell,
+    get_cell,
+)
+from repro.tech.power import (
+    FMAX_HZ,
+    NJ_PER_INSTRUCTION,
+    PULLUP_REFINEMENT_FACTOR,
+    OperatingPoint,
+    battery_life_s,
+    energy_j,
+    energy_per_instruction_j,
+    static_power_w,
+    supply_current_a,
+)
+
+__all__ = [
+    "Cell",
+    "FMAX_HZ",
+    "LIBRARY",
+    "MM2_PER_NAND2",
+    "NJ_PER_INSTRUCTION",
+    "OperatingPoint",
+    "PULLUP_REFINEMENT_FACTOR",
+    "SECONDS_PER_DELAY_UNIT",
+    "WATTS_PER_PULLUP_AT_4V5",
+    "battery_life_s",
+    "cells_by_function",
+    "default_cell",
+    "energy_j",
+    "energy_per_instruction_j",
+    "get_cell",
+    "static_power_w",
+    "supply_current_a",
+    "tft",
+]

@@ -1,0 +1,112 @@
+"""The thirteen-cell standard-cell library of Figure 1.
+
+The paper's library (n-type logic with resistive pull-up, two of the four
+metal layers) exposes exactly these cell types: BUF, DFF, INV and NAND2 in
+two drive strengths, NOR2 in two drive strengths, and single-variant MUX2,
+XOR2 and XNOR2 -- thirteen cells.  Notably there are *no* AND/OR cells:
+netlist builders must compose them (AND = NAND + INV), exactly as the
+synthesis flow would.
+
+Per-cell numbers:
+
+- ``devices``: TFTs + pull-up resistors (the paper counts both: FlexiCore4
+  totals 2104 devices over 336 gates, ~6.3 devices/gate).
+- ``area``: NAND2-equivalent area units (Table 7 reports FlexiCore4 at
+  801 NAND2-equivalents for 5.56 mm^2 after place & route).
+- ``pullups``: resistors that conduct whenever the cell output is LOW --
+  the source of the >99%-static power of Section 3.1.
+- ``delay``: normalized propagation delay at 4.5 V (NAND2 X1 = 1.0).
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: mm^2 of placed-and-routed silicon per NAND2-equivalent area unit,
+#: calibrated from FlexiCore4: 5.56 mm^2 / 801 NAND2-eq.
+MM2_PER_NAND2 = 5.56 / 801.0
+
+#: Static power per conducting pull-up at 4.5 V, in watts.  Calibrated so
+#: the FlexiCore4 netlist lands near its measured 4.9 mW (Table 4).
+WATTS_PER_PULLUP_AT_4V5 = 16.4e-6
+
+#: Gate delay per normalized delay unit at 4.5 V, in seconds.  Calibrated
+#: so the typical FlexiCore4 die is comfortably above the 12.5 kHz test
+#: clock at 4.5 V and *marginal* at 3 V, reproducing the Table 5
+#: yield-vs-voltage behaviour (the chips' own fmax was tester-limited to
+#: 12.5 kHz by the IO ring, not by the logic -- Section 4.1).
+SECONDS_PER_DELAY_UNIT = 0.95e-6
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell."""
+
+    name: str
+    function: str      # logic function family: 'buf','inv','nand2',...
+    drive: int         # drive-strength variant (1 or 2)
+    devices: int       # TFTs + pull-up resistors
+    area: float        # NAND2-equivalent units
+    pullups: int       # resistive pull-ups (static-power proxy)
+    delay: float       # normalized propagation delay (NAND2_X1 = 1.0)
+    inputs: int        # logic inputs (excluding clock)
+    sequential: bool = False
+
+
+#: The thirteen cells.
+LIBRARY: Dict[str, Cell] = {
+    cell.name: cell
+    for cell in (
+        # Buffers: two cascaded inverters.
+        Cell("BUF_X1", "buf", 1, devices=4, area=1.3, pullups=2,
+             delay=1.2, inputs=1),
+        Cell("BUF_X2", "buf", 2, devices=6, area=1.8, pullups=2,
+             delay=0.9, inputs=1),
+        # D flip-flops (master/slave of clocked n-type latches).
+        Cell("DFF_X1", "dff", 1, devices=22, area=4.8, pullups=6,
+             delay=1.6, inputs=1, sequential=True),
+        Cell("DFF_X2", "dff", 2, devices=26, area=5.6, pullups=6,
+             delay=1.3, inputs=1, sequential=True),
+        Cell("INV_X1", "inv", 1, devices=2, area=0.75, pullups=1,
+             delay=0.7, inputs=1),
+        Cell("INV_X2", "inv", 2, devices=3, area=1.0, pullups=1,
+             delay=0.55, inputs=1),
+        # 2:1 mux built from n-type pass/drive stages.
+        Cell("MUX2_X1", "mux2", 1, devices=8, area=1.9, pullups=2,
+             delay=1.4, inputs=3),
+        Cell("NAND2_X1", "nand2", 1, devices=3, area=1.0, pullups=1,
+             delay=1.0, inputs=2),
+        Cell("NAND2_X2", "nand2", 2, devices=5, area=1.35, pullups=1,
+             delay=0.8, inputs=2),
+        Cell("NOR2_X1", "nor2", 1, devices=3, area=1.0, pullups=1,
+             delay=1.0, inputs=2),
+        Cell("NOR2_X2", "nor2", 2, devices=5, area=1.35, pullups=1,
+             delay=0.8, inputs=2),
+        Cell("XNOR2_X1", "xnor2", 1, devices=9, area=2.4, pullups=3,
+             delay=1.9, inputs=2),
+        Cell("XOR2_X1", "xor2", 1, devices=9, area=2.4, pullups=3,
+             delay=1.9, inputs=2),
+    )
+}
+
+assert len(LIBRARY) == 13, "the paper's library has exactly thirteen cells"
+
+
+def get_cell(name):
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell '{name}'; library has {sorted(LIBRARY)}"
+        ) from None
+
+
+def cells_by_function(function):
+    """All drive variants of a logic function, X1 first."""
+    variants = [cell for cell in LIBRARY.values()
+                if cell.function == function]
+    return sorted(variants, key=lambda cell: cell.drive)
+
+
+def default_cell(function):
+    """The X1 variant of a logic function."""
+    return cells_by_function(function)[0]

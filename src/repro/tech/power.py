@@ -1,0 +1,72 @@
+"""Static power and energy model for 0.8 um IGZO logic.
+
+Section 3.1: ">99% of power consumption in 0.8 um IGZO is static power" --
+an n-type gate's pull-up resistor conducts whenever its output is LOW, so
+power is set by area (number of pull-ups), not by switching activity, and
+"power reduction [must] be achieved primarily through area reduction".
+
+Energy for a program is therefore simply ``P_static x T_execution``; at
+the chips' 12.5 kHz and ~4.5 mW this is the paper's "360 nJ per
+instruction" (Section 5.2).
+"""
+
+from dataclasses import dataclass
+
+from repro.tech import tft
+from repro.tech.cells import WATTS_PER_PULLUP_AT_4V5
+
+#: Headline figure of Section 5.2.
+NJ_PER_INSTRUCTION = 360.0
+#: Tested clock rate of the fabricated chips (Section 4.1).
+FMAX_HZ = 12.5e3
+
+#: The FlexiCore8 wafer used a refined process with 50% higher pull-up
+#: resistance (Table 4), cutting static current by 1/3.
+PULLUP_REFINEMENT_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Supply voltage plus process options."""
+
+    vdd: float = tft.VDD_NOMINAL
+    refined_pullups: bool = False
+
+    def pullup_power_w(self):
+        """Static power of one conducting pull-up at this point."""
+        power = WATTS_PER_PULLUP_AT_4V5 * (self.vdd / tft.VDD_NOMINAL) ** 2
+        if self.refined_pullups:
+            power /= PULLUP_REFINEMENT_FACTOR
+        return power
+
+
+def static_power_w(pullups, point=OperatingPoint(), low_fraction=0.5):
+    """Static power of a block with ``pullups`` resistive pull-ups.
+
+    ``low_fraction`` is the average fraction of gate outputs held LOW
+    (conducting); 0.5 is the long-run average for random logic.
+    """
+    return pullups * low_fraction * point.pullup_power_w()
+
+
+def supply_current_a(power_w, vdd):
+    """The wafer prober measures current draw; convert power to current."""
+    return power_w / vdd
+
+
+def energy_j(power_w, cycles, frequency_hz=FMAX_HZ):
+    """Execution energy: static power times time (Section 5.2)."""
+    return power_w * cycles / frequency_hz
+
+
+def energy_per_instruction_j(power_w, frequency_hz=FMAX_HZ):
+    """At one instruction per cycle (the fabricated single-cycle cores)."""
+    return power_w / frequency_hz
+
+
+def battery_life_s(power_w, battery_mah=5.0, battery_v=3.0,
+                   duty_cycle=1.0):
+    """Runtime on a flexible printed battery (the Section 5.2 estimate
+    uses a commercial 3 V, 5 mAh cell and perfect power gating)."""
+    battery_j = battery_mah * 1e-3 * 3600.0 * battery_v
+    return battery_j / (power_w * duty_cycle)

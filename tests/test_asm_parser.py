@@ -1,0 +1,138 @@
+"""Assembly parser unit tests."""
+
+import pytest
+
+from repro.asm.errors import ParseError
+from repro.asm.parser import (
+    Location,
+    parse_integer,
+    parse_line,
+    parse_mask,
+    parse_register,
+    parse_source,
+    strip_comment,
+)
+
+LOC = Location("test.asm", 1)
+
+
+class TestComments:
+    def test_semicolon(self):
+        assert strip_comment("addi 1 ; increment") == "addi 1"
+
+    def test_hash(self):
+        assert strip_comment("addi 1 # increment") == "addi 1"
+
+    def test_comment_only_line(self):
+        assert parse_line("; nothing here", LOC) == []
+
+    def test_blank_line(self):
+        assert parse_line("   ", LOC) == []
+
+
+class TestLabels:
+    def test_label_alone(self):
+        [stmt] = parse_line("loop:", LOC)
+        assert stmt.label == "loop"
+
+    def test_label_with_instruction(self):
+        label, instr = parse_line("loop: load 0", LOC)
+        assert label.label == "loop"
+        assert instr.mnemonic == "load"
+        assert instr.operands == ("0",)
+
+    def test_multiple_labels(self):
+        statements = parse_line("a: b: nop", LOC)
+        assert [s.label for s in statements[:2]] == ["a", "b"]
+        assert statements[2].mnemonic == "nop"
+
+
+class TestInstructions:
+    def test_operand_splitting(self):
+        [stmt] = parse_line("br nz, target", LOC)
+        assert stmt.mnemonic == "br"
+        assert stmt.operands == ("nz", "target")
+
+    def test_mnemonic_case_folding(self):
+        [stmt] = parse_line("ADDI 3", LOC)
+        assert stmt.mnemonic == "addi"
+
+    def test_bad_mnemonic_raises(self):
+        with pytest.raises(ParseError):
+            parse_line("12bad 3", LOC)
+
+
+class TestDirectivesAndMacros:
+    def test_directive(self):
+        [stmt] = parse_line(".page 2", LOC)
+        assert stmt.directive == ".page"
+        assert stmt.directive_args == ("2",)
+
+    def test_macro_invocation(self):
+        [stmt] = parse_line("%jump loop", LOC)
+        assert stmt.macro == "jump"
+        assert stmt.macro_args == ("loop",)
+
+    def test_macro_with_multiple_args(self):
+        [stmt] = parse_line("%farjump 1, entry", LOC)
+        assert stmt.macro_args == ("1", "entry")
+
+    def test_bad_macro_raises(self):
+        with pytest.raises(ParseError):
+            parse_line("%123bad", LOC)
+
+
+class TestOperandParsing:
+    @pytest.mark.parametrize("token,value", [
+        ("0", 0), ("15", 15), ("-3", -3), ("0x1F", 31), ("0b101", 5),
+        ("+7", 7),
+    ])
+    def test_integers(self, token, value):
+        assert parse_integer(token) == value
+
+    @pytest.mark.parametrize("token", ["label", "r1x", "1.5", ""])
+    def test_non_integers(self, token):
+        assert parse_integer(token) is None
+
+    @pytest.mark.parametrize("token,value", [
+        ("n", 0b100), ("z", 0b010), ("p", 0b001),
+        ("nz", 0b110), ("np", 0b101), ("zp", 0b011), ("nzp", 0b111),
+        ("NZP", 0b111),
+    ])
+    def test_masks(self, token, value):
+        assert parse_mask(token) == value
+
+    def test_mask_rejects_other_letters(self):
+        assert parse_mask("nq") is None
+        assert parse_mask("") is None
+
+    @pytest.mark.parametrize("token,value", [("r0", 0), ("r7", 7),
+                                             ("R3", 3)])
+    def test_registers(self, token, value):
+        assert parse_register(token) == value
+
+    def test_register_rejects_non_register(self):
+        assert parse_register("x1") is None
+
+
+class TestSource:
+    def test_line_numbers_in_locations(self):
+        statements = parse_source("nop\n\nnop\n", "prog.asm")
+        assert [s.location.line for s in statements] == [1, 3]
+        assert statements[0].location.source == "prog.asm"
+
+    def test_mixed_program(self):
+        source = """
+.equ X 2
+start:
+    load 0        ; read
+    %jump start
+"""
+        statements = parse_source(source)
+        kinds = [
+            "directive" if s.is_directive else
+            "macro" if s.is_macro else
+            "label" if s.label else "instr"
+            for s in statements
+        ]
+        assert kinds == ["directive", "label", "instr", "macro"]

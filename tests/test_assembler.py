@@ -1,0 +1,163 @@
+"""Two-pass assembler: layout, symbols, paging, and round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import (
+    Assembler,
+    LayoutError,
+    PAGE_SIZE,
+    ParseError,
+    SymbolError,
+    assemble,
+    disassemble,
+    roundtrip_ok,
+)
+from repro.isa import get_isa
+
+FC4 = get_isa("flexicore4")
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("addi 1\nstore 2\n", FC4)
+        assert program.static_instructions == 2
+        assert program.size_bytes == 2
+        assert program.image()[:2] == FC4.encode("addi", (1,)) + \
+            FC4.encode("store", (2,))
+
+    def test_labels_resolve_to_offsets(self):
+        program = assemble("nandi 0\nloop: addi 1\nbrn loop\n", FC4)
+        assert program.labels["loop"] == (0, 1)
+        assert program.label_address("loop") == 1
+
+    def test_equ_constants(self):
+        program = assemble(".equ OPORT 1\nstore OPORT\n", FC4)
+        assert program.listing[0].operands == (1,)
+
+    def test_equ_chains(self):
+        program = assemble(
+            ".equ A 3\n.equ B A\nload B\n", FC4
+        )
+        assert program.listing[0].operands == (3,)
+
+    def test_mnemonic_histogram(self):
+        program = assemble("addi 1\naddi 2\nxori 3\n", FC4)
+        assert program.mnemonic_histogram() == {"addi": 2, "xori": 1}
+
+    def test_listing_text_contains_addresses(self):
+        program = assemble("addi 1\n", FC4)
+        assert "addi 1" in program.text()
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ParseError):
+            assemble("frobnicate 1\n", FC4)
+
+    def test_undefined_label(self):
+        with pytest.raises(SymbolError):
+            assemble("brn nowhere\n", FC4)
+
+    def test_duplicate_label(self):
+        with pytest.raises(SymbolError):
+            assemble("a: nandi 0\na: nandi 0\n", FC4)
+
+    def test_duplicate_equ(self):
+        with pytest.raises(SymbolError):
+            assemble(".equ X 1\n.equ X 2\n", FC4)
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ParseError):
+            assemble("addi 1, 2\n", FC4)
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            assemble(".banana 1\n", FC4)
+
+    def test_error_reports_location(self):
+        with pytest.raises(SymbolError) as excinfo:
+            assemble("nandi 0\nbrn gone\n", FC4, source_name="prog.asm")
+        assert "prog.asm:2" in str(excinfo.value)
+
+
+class TestPaging:
+    def test_page_overflow_detected(self):
+        source = "\n".join(["addi 1"] * (PAGE_SIZE + 1))
+        with pytest.raises(LayoutError):
+            assemble(source, FC4)
+
+    def test_exactly_one_page_fits(self):
+        source = "\n".join(["addi 1"] * PAGE_SIZE)
+        program = assemble(source, FC4)
+        assert program.size_bytes == PAGE_SIZE
+
+    def test_page_directive_switches_pages(self):
+        program = assemble("addi 1\n.page 2\naddi 2\n", FC4)
+        assert program.page_numbers == [0, 2]
+        image = program.image()
+        assert len(image) == 3 * PAGE_SIZE
+        assert image[2 * PAGE_SIZE] == FC4.encode("addi", (2,))[0]
+
+    def test_cross_page_branch_rejected(self):
+        source = "brn far\n.page 1\nfar: addi 1\n"
+        with pytest.raises(LayoutError):
+            assemble(source, FC4)
+
+    def test_at_prefix_waives_page_check(self):
+        source = "brn @far\n.page 1\nnandi 0\nfar: addi 1\n"
+        program = assemble(source, FC4)
+        # The branch encodes far's page-local offset (1), not its page.
+        assert program.listing[0].operands == (1,)
+
+    def test_bad_page_number(self):
+        with pytest.raises(LayoutError):
+            assemble(".page 16\naddi 1\n", FC4)
+
+    def test_labels_are_page_local_pairs(self):
+        program = assemble(".page 3\nhere: addi 1\n", FC4)
+        assert program.labels["here"] == (3, 0)
+
+
+class TestMultiIsa:
+    @pytest.mark.parametrize("isa_name,source", [
+        ("flexicore4", "loop: load 0\naddi 1\nstore 1\nnandi 0\nbrn loop\n"),
+        ("flexicore8", "ldb 0xAB\nstore 2\nload 2\nstore 1\n"),
+        ("extacc", "start: addi 3\nbr nzp, start\ncall start\nret\nhalt\n"),
+        ("loadstore", "movi r1, 9\nadd r1, r1\nout r1\nhalt\n"),
+    ])
+    def test_roundtrip_across_isas(self, isa_name, source):
+        program = assemble(source, get_isa(isa_name))
+        assert roundtrip_ok(program)
+
+    def test_loadstore_register_syntax(self):
+        program = assemble("movi r5, 3\n", get_isa("loadstore"))
+        assert program.listing[0].operands == (5, 3)
+
+    def test_mask_syntax(self):
+        program = assemble("start: br nz, start\n", get_isa("extacc"))
+        assert program.listing[0].operands == (0b110, 0)
+
+
+class TestDisassembler:
+    def test_disassembles_program(self):
+        program = assemble("addi 1\nstore 2\nbrn 0\n", FC4)
+        lines = disassemble(program.image()[:3], FC4)
+        assert [line.mnemonic for line in lines] == ["addi", "store", "brn"]
+
+    def test_undecodable_bytes_become_byte_lines(self):
+        lines = disassemble(bytes([0b0011_1000]), FC4)
+        assert lines[0].mnemonic is None
+        assert ".byte" in lines[0].text
+
+    @settings(max_examples=30)
+    @given(st.lists(
+        st.sampled_from(["addi 1", "xori 5", "load 3", "store 2",
+                         "nand 4", "brn 0"]),
+        min_size=1, max_size=40,
+    ))
+    def test_linear_sweep_covers_whole_program(self, instructions):
+        program = assemble("\n".join(instructions), FC4)
+        lines = disassemble(program.image()[:program.size_bytes], FC4)
+        assert len(lines) == len(instructions)

@@ -1,0 +1,109 @@
+"""Unit and property tests for repro.isa.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import bits
+
+
+class TestMasks:
+    def test_mask_widths(self):
+        assert bits.mask(1) == 1
+        assert bits.mask(4) == 0xF
+        assert bits.mask(8) == 0xFF
+
+    def test_truncate(self):
+        assert bits.truncate(0x1F, 4) == 0xF
+        assert bits.truncate(-1, 4) == 0xF
+        assert bits.truncate(16, 4) == 0
+
+    @given(st.integers(-1000, 1000), st.integers(1, 16))
+    def test_truncate_idempotent(self, value, width):
+        once = bits.truncate(value, width)
+        assert bits.truncate(once, width) == once
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize("value,width,expected", [
+        (0x0, 4, 0), (0x7, 4, 7), (0x8, 4, -8), (0xF, 4, -1),
+        (0x7F, 8, 127), (0x80, 8, -128), (0xFF, 8, -1),
+    ])
+    def test_known_values(self, value, width, expected):
+        assert bits.sign_extend(value, width) == expected
+
+    @given(st.integers(0, 255))
+    def test_roundtrip_through_truncate(self, value):
+        signed = bits.sign_extend(value, 8)
+        assert bits.truncate(signed, 8) == value
+
+    @given(st.integers(-8, 7))
+    def test_signed_range_is_fixed_point(self, value):
+        assert bits.sign_extend(bits.truncate(value, 4), 4) == value
+
+
+class TestBitAccess:
+    def test_msb(self):
+        assert bits.msb(0x8, 4) == 1
+        assert bits.msb(0x7, 4) == 0
+        assert bits.msb(0x80, 8) == 1
+
+    def test_bit(self):
+        assert bits.bit(0b1010, 1) == 1
+        assert bits.bit(0b1010, 0) == 0
+
+    def test_get_field(self):
+        assert bits.get_field(0b1011_0110, 5, 4) == 0b11
+        assert bits.get_field(0xFF, 7, 0) == 0xFF
+
+    def test_set_field(self):
+        assert bits.set_field(0, 5, 4, 0b10) == 0b10_0000
+        assert bits.set_field(0xFF, 3, 0, 0) == 0xF0
+
+    def test_set_field_overflow_raises(self):
+        with pytest.raises(ValueError):
+            bits.set_field(0, 5, 4, 0b100)
+
+    @given(st.integers(0, 255), st.integers(0, 7), st.integers(0, 7))
+    def test_get_set_roundtrip(self, word, hi, lo):
+        if hi < lo:
+            hi, lo = lo, hi
+        field = bits.get_field(word, hi, lo)
+        assert bits.set_field(word, hi, lo, field) == word
+
+
+class TestCounting:
+    @given(st.integers(0, 1 << 16))
+    def test_parity_matches_popcount(self, value):
+        assert bits.parity(value) == bits.popcount(value) % 2
+
+    @given(st.integers(0, 255))
+    def test_reverse_bits_involution(self, value):
+        assert bits.reverse_bits(bits.reverse_bits(value, 8), 8) == value
+
+    def test_reverse_bits_known(self):
+        assert bits.reverse_bits(0b0001, 4) == 0b1000
+        assert bits.reverse_bits(0b0110, 4) == 0b0110
+
+
+class TestAdders:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_add_with_carry_matches_integers(self, a, b, cin):
+        value, carry = bits.add_with_carry(a, b, cin, 4)
+        total = a + b + cin
+        assert value == total & 0xF
+        assert carry == (total >> 4) & 1
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_sub_with_borrow_matches_integers(self, a, b, bin_):
+        value, borrow = bits.sub_with_borrow(a, b, bin_, 8)
+        total = a - b - bin_
+        assert value == total & 0xFF
+        assert borrow == (1 if total < 0 else 0)
+
+    def test_carry_chain_composes(self):
+        # 0xFF + 0x01 across two nibbles equals the 8-bit result.
+        lo, carry = bits.add_with_carry(0xF, 0x1, 0, 4)
+        hi, carry2 = bits.add_with_carry(0xF, 0x0, carry, 4)
+        assert (hi << 4) | lo == (0xFF + 0x01) & 0xFF
+        assert carry2 == 1

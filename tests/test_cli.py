@@ -1,0 +1,103 @@
+"""Command-line interface smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+loop:
+    load 0
+    addi 1
+    store 1
+    nandi 0
+    brn loop
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "echo.asm"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAsm:
+    def test_assemble_and_list(self, source_file, capsys):
+        assert main(["asm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "5 instructions" in out
+
+    def test_write_image(self, source_file, tmp_path, capsys):
+        image = tmp_path / "echo.bin"
+        assert main(["asm", source_file, "-o", str(image)]) == 0
+        assert image.read_bytes()[0] == 0x70  # load 0
+
+    def test_other_isa(self, tmp_path, capsys):
+        path = tmp_path / "p.asm"
+        path.write_text("movi r1, 3\nout r1\nhalt\n")
+        assert main(["asm", str(path), "--isa", "loadstore"]) == 0
+
+
+class TestDis:
+    def test_disassemble(self, source_file, tmp_path, capsys):
+        image = tmp_path / "echo.bin"
+        main(["asm", source_file, "-o", str(image)])
+        capsys.readouterr()
+        assert main(["dis", str(image)]) == 0
+        out = capsys.readouterr().out
+        assert "addi 1" in out
+
+
+class TestRun:
+    def test_run_with_inputs(self, source_file, capsys):
+        assert main(["run", source_file, "--inputs", "1,2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "0x2 0x3 0x4" in out
+        assert "input_exhausted" in out
+
+
+class TestSuiteCommands:
+    def test_kernels(self, capsys):
+        assert main(["kernels", "--transactions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "XorShift8" in out
+        assert "OK" in out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table6"]) == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+
+    def test_report(self, tmp_path, capsys):
+        output = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "-o", str(output)]) == 0
+        assert output.exists()
+
+
+class TestHardwareCommands:
+    def test_isa_reference(self, capsys):
+        assert main(["isa", "extacc"]) == 0
+        out = capsys.readouterr().out
+        assert "adc" in out and "barrel shifter" in out
+
+    def test_verilog_export(self, tmp_path, capsys):
+        output = tmp_path / "core.v"
+        assert main(["verilog", "flexicore8", "-o", str(output)]) == 0
+        assert "module flexicore8" in output.read_text()
+
+    def test_verilog_unknown_core(self, capsys):
+        assert main(["verilog", "pentium"]) == 2
+
+    def test_pareto(self, capsys):
+        assert main(["pareto"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.asm"
+        path.write_text("load 0\nstore 1\nnandi 0\nbrn 0\n")
+        assert main(["trace", str(path), "--inputs", "7",
+                     "--max-cycles", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "load 0" in out and "OPORT" in out

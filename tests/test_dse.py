@@ -1,0 +1,207 @@
+"""Design-space exploration: Section 6 orderings and headline shapes."""
+
+import pytest
+
+from repro.dse import (
+    ALL_DESIGNS,
+    BASELINE,
+    DSE_DESIGNS,
+    evaluate_all,
+    evaluate_design,
+    feature_sweep,
+    revised_isa_report,
+)
+from repro.netlist.dse_cores import (
+    DSE_FEATURES,
+    build_extended_core,
+    build_loadstore_core,
+)
+from repro.netlist.sta import analyze
+
+
+@pytest.fixture(scope="module")
+def wide():
+    return evaluate_all()
+
+
+@pytest.fixture(scope="module")
+def narrow():
+    return evaluate_all(bus_bits=8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return feature_sweep()
+
+
+class TestFeatureAreas:
+    """Figure 9's hardware-cost ordering."""
+
+    @pytest.fixture(scope="class")
+    def areas(self):
+        base = build_extended_core(()).nand2_area
+        return {
+            feature: build_extended_core((feature,)).nand2_area / base
+            for feature in DSE_FEATURES
+        }
+
+    def test_cheap_trio_under_fifteen_percent(self, areas):
+        # Paper: coalescing, shifter and condition codes are < 10%.
+        for feature in ("adc", "shift", "flags"):
+            assert areas[feature] < 1.15, feature
+
+    def test_multiplier_is_expensive(self, areas):
+        assert areas["mult"] > 1.35
+
+    def test_double_memory_is_most_expensive(self, areas):
+        # Paper: > 70% area cost; it is rejected from the revised ISA.
+        assert areas["mem2x"] > 1.5
+        assert areas["mem2x"] == max(areas.values())
+
+    def test_every_feature_costs_area(self, areas):
+        assert all(ratio > 1.0 for ratio in areas.values())
+
+    def test_second_port_memory_cost(self):
+        """Section 3.5: a second read port adds ~39% to the FlexiCore4
+        memory; compare the LS (two-port) and MC-LS (one-port) builds."""
+        two_port = build_loadstore_core("SC")
+        one_port = build_loadstore_core("MC")
+        mem2 = two_port.module_breakdown()["memory"]["area"]
+        mem1 = one_port.module_breakdown()["memory"]["area"]
+        assert 1.2 < mem2 / mem1 < 1.75
+
+
+class TestCodeSizeSweep:
+    def test_shift_is_the_biggest_code_saver(self, sweep):
+        _, reports = sweep
+        by_feature = {r.feature: r.code_ratio for r in reports}
+        assert by_feature["shift"] == min(by_feature.values())
+        assert by_feature["shift"] < 0.85
+
+    def test_double_memory_does_not_change_code(self, sweep):
+        # Figure 9: "Increasing the size of data-memory does not effect
+        # test code size".
+        _, reports = sweep
+        by_feature = {r.feature: r.code_ratio for r in reports}
+        assert by_feature["mem2x"] == pytest.approx(1.0)
+
+    def test_revised_isa_shrinks_code(self, sweep):
+        revised = revised_isa_report()
+        assert revised["code_ratio"] < 0.85
+        # Every kernel is no worse than the base.
+        assert all(ratio <= 1.001
+                   for ratio in revised["code_ratio_by_kernel"].values())
+
+    def test_base_report_is_unity(self, sweep):
+        base, _ = sweep
+        assert base.area_ratio == 1.0
+        assert base.code_ratio == 1.0
+
+
+class TestDesignOrderings:
+    """Figure 12's area orderings."""
+
+    def test_acc_sc_is_smallest_dse_design(self, wide):
+        areas = {d.name: wide[d.name].nand2_area for d in DSE_DESIGNS}
+        assert min(areas, key=areas.get) == "Acc SC"
+
+    def test_acc_multicycle_is_largest_acc(self, wide):
+        # Section 6.2: for the accumulator ISA, multicycle is largest.
+        assert wide["Acc MC"].nand2_area > wide["Acc P"].nand2_area \
+            > wide["Acc SC"].nand2_area
+
+    def test_ls_multicycle_not_larger_than_ls_sc(self, wide):
+        # Section 6.2: dropping the second port offsets the MC control.
+        assert wide["LS MC"].nand2_area <= wide["LS SC"].nand2_area * 1.01
+
+    def test_ls_designs_larger_than_acc(self, wide):
+        for micro in ("SC", "P", "MC"):
+            assert wide[f"LS {micro}"].nand2_area > \
+                wide[f"Acc {micro}"].nand2_area
+
+    def test_baseline_smaller_than_all_dse_designs(self, wide):
+        base_area = wide["FlexiCore4"].nand2_area
+        for design in DSE_DESIGNS:
+            assert wide[design.name].nand2_area > base_area
+
+
+class TestEnergyAndPerformance:
+    def test_pipelined_designs_beat_baseline_energy(self, wide):
+        base = wide["FlexiCore4"]
+        for name in ("Acc P", "LS P"):
+            assert wide[name].mean_relative(base, "energy_j") < 0.85
+
+    def test_ls_pipelined_is_best_with_wide_bus(self, wide):
+        # Section 6.2: "the best performing core is the 2-stage
+        # load-store machine".
+        base = wide["FlexiCore4"]
+        energies = {
+            d.name: wide[d.name].mean_relative(base, "energy_j")
+            for d in DSE_DESIGNS
+        }
+        assert min(energies, key=energies.get) == "LS P"
+
+    def test_pipelined_perf_gain_in_paper_band(self, wide):
+        # Paper: SC/pipelined cores outperform FlexiCore4 by 53-115%.
+        base = wide["FlexiCore4"]
+        speedup = 1.0 / wide["Acc P"].mean_relative(base, "time_s")
+        assert 1.4 < speedup < 3.5
+
+    def test_shift_heavy_kernels_gain_most(self, wide):
+        base = wide["FlexiCore4"]
+        accp = wide["Acc P"]
+
+        def speedup(kernel):
+            return (base.kernels[kernel].time_s
+                    / accp.kernels[kernel].time_s)
+
+        assert speedup("IntAvg") > speedup("Thresholding")
+        assert speedup("XorShift8") > speedup("Decision Tree")
+
+
+class TestBusRestriction:
+    """Figure 13's 8-bit-bus configuration."""
+
+    def test_ls_sc_and_p_infeasible(self, narrow):
+        for name in ("LS SC", "LS P"):
+            metrics = narrow[name]
+            assert not any(k.feasible for k in metrics.kernels.values())
+
+    def test_ls_mc_remains_feasible(self, narrow):
+        assert all(k.feasible
+                   for k in narrow["LS MC"].kernels.values())
+
+    def test_acc_designs_all_feasible(self, narrow):
+        for name in ("Acc SC", "Acc P", "Acc MC"):
+            assert all(k.feasible
+                       for k in narrow[name].kernels.values())
+
+    def test_acc_pipelined_is_best_with_narrow_bus(self, narrow, wide):
+        # Section 6.3: without integrated program memory the pipelined
+        # accumulator design is the preferred point.
+        base = wide["FlexiCore4"]
+        feasible = {
+            d.name: narrow[d.name].mean_relative(base, "energy_j")
+            for d in DSE_DESIGNS
+            if all(k.feasible for k in narrow[d.name].kernels.values())
+        }
+        assert min(feasible, key=feasible.get) == "Acc P"
+
+
+class TestStaOnDseCores:
+    def test_mult_lengthens_critical_path(self):
+        base = analyze(build_extended_core(()))
+        mult = analyze(build_extended_core(("mult",)))
+        assert mult.critical_delay_units > base.critical_delay_units
+
+    def test_designs_build_and_validate(self):
+        for design in ALL_DESIGNS:
+            netlist = design.build_netlist()
+            assert netlist.validate()
+
+    def test_metrics_shape(self, wide):
+        metrics = wide["Acc SC"]
+        assert metrics.static_power_w > 0
+        assert metrics.frequency_hz > 1e3
+        assert len(metrics.kernels) == 7
+        assert metrics.total_code_bits() > 0

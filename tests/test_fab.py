@@ -1,0 +1,158 @@
+"""Fabrication and yield Monte Carlo (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.fab import (
+    FC4_WAFER,
+    FC8_WAFER,
+    Wafer,
+    fabricate_wafer,
+    run_yield_study,
+)
+from repro.fab.wafer import EDGE_EXCLUSION_MM, WAFER_DIAMETER_MM
+from repro.netlist import build_flexicore4, build_flexicore8
+
+
+@pytest.fixture(scope="module")
+def fc4_netlist():
+    return build_flexicore4()
+
+
+@pytest.fixture(scope="module")
+def fc8_netlist():
+    return build_flexicore8()
+
+
+class TestWaferGeometry:
+    def test_die_count_near_photo(self):
+        # Figure 4a shows 123 FlexiCore4 dies on the 200 mm wafer.
+        wafer = Wafer.standard()
+        assert 110 <= len(wafer) <= 135
+
+    def test_all_sites_inside_wafer(self):
+        wafer = Wafer.standard()
+        for site in wafer.sites:
+            assert site.radius_mm < WAFER_DIAMETER_MM / 2
+
+    def test_exclusion_zone_partition(self):
+        wafer = Wafer.standard()
+        assert len(wafer.inclusion_sites) + len(wafer.edge_sites) == \
+            len(wafer)
+        boundary = WAFER_DIAMETER_MM / 2 - EDGE_EXCLUSION_MM
+        for site in wafer.inclusion_sites:
+            assert site.radius_mm <= boundary
+        for site in wafer.edge_sites:
+            assert site.radius_mm > boundary
+
+    def test_edge_zone_is_significant(self):
+        wafer = Wafer.standard()
+        assert len(wafer.edge_sites) >= 0.15 * len(wafer)
+
+    def test_grid_shape(self):
+        rows, cols = Wafer.standard().grid_shape()
+        assert rows == cols
+
+
+class TestFabrication:
+    def test_deterministic_under_seed(self, fc4_netlist):
+        w1 = fabricate_wafer(fc4_netlist, FC4_WAFER,
+                             np.random.default_rng(3))
+        w2 = fabricate_wafer(fc4_netlist, FC4_WAFER,
+                             np.random.default_rng(3))
+        assert [d.defects for d in w1.dies] == [d.defects for d in w2.dies]
+        assert [d.speed_factor for d in w1.dies] == \
+            [d.speed_factor for d in w2.dies]
+
+    def test_edge_dies_are_worse(self, fc4_netlist):
+        rng = np.random.default_rng(11)
+        defect_rates = {"edge": [], "incl": []}
+        for _ in range(20):
+            wafer = fabricate_wafer(fc4_netlist, FC4_WAFER, rng)
+            for die in wafer.dies:
+                bucket = ("incl" if die.site.in_inclusion_zone else "edge")
+                defect_rates[bucket].append(die.has_defect)
+        assert np.mean(defect_rates["edge"]) > \
+            2 * np.mean(defect_rates["incl"])
+
+
+class TestProbing:
+    def test_functional_dies_have_zero_errors(self, fc4_netlist):
+        rng = np.random.default_rng(5)
+        wafer = fabricate_wafer(fc4_netlist, FC4_WAFER, rng)
+        probe = wafer.probe(4.5, rng)
+        for record in probe.records:
+            if record.functional:
+                assert record.errors == 0
+                assert record.failure_mode is None
+            else:
+                assert record.errors > 0
+                assert record.failure_mode in ("defect", "timing")
+
+    def test_lower_voltage_only_loses_dies(self, fc4_netlist):
+        """Any die functional at 3 V must also be functional at 4.5 V
+        (same defects, easier timing)."""
+        rng = np.random.default_rng(6)
+        wafer = fabricate_wafer(fc4_netlist, FC4_WAFER, rng)
+        at3 = wafer.probe(3.0, rng)
+        at45 = wafer.probe(4.5, rng)
+        for r3, r45 in zip(at3.records, at45.records):
+            if r3.functional:
+                assert r45.functional
+
+    def test_current_scales_with_voltage(self, fc4_netlist):
+        rng = np.random.default_rng(7)
+        wafer = fabricate_wafer(fc4_netlist, FC4_WAFER, rng)
+        mean3 = wafer.probe(3.0, rng).current_statistics()[0]
+        mean45 = wafer.probe(4.5, rng).current_statistics()[0]
+        assert mean3 < mean45
+
+    def test_maps_cover_all_sites(self, fc4_netlist):
+        rng = np.random.default_rng(8)
+        wafer = fabricate_wafer(fc4_netlist, FC4_WAFER, rng)
+        probe = wafer.probe(4.5, rng)
+        assert len(probe.error_map()) == len(wafer.wafer)
+        assert len(probe.current_map()) == len(wafer.wafer)
+
+
+class TestYieldCalibration:
+    """The headline Table 5 / Section 4.2 numbers, in loose bands."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self, fc4_netlist, fc8_netlist):
+        rng = np.random.default_rng(2022)
+        return {
+            "fc4": run_yield_study(fc4_netlist, FC4_WAFER, rng, wafers=8),
+            "fc8": run_yield_study(fc8_netlist, FC8_WAFER, rng, wafers=8),
+        }
+
+    def test_fc4_inclusion_yield_at_4v5(self, summaries):
+        assert 0.72 <= summaries["fc4"][4.5]["inclusion"] <= 0.90
+
+    def test_fc4_inclusion_yield_at_3v(self, summaries):
+        assert 0.42 <= summaries["fc4"][3.0]["inclusion"] <= 0.68
+
+    def test_fc8_inclusion_yield_at_4v5(self, summaries):
+        assert 0.45 <= summaries["fc8"][4.5]["inclusion"] <= 0.70
+
+    def test_fc8_collapses_at_3v(self, summaries):
+        # Paper: 6%.  The 8-bit adder misses timing on most corners.
+        assert summaries["fc8"][3.0]["inclusion"] <= 0.15
+
+    def test_full_wafer_below_inclusion(self, summaries):
+        for core in summaries.values():
+            for voltage in (3.0, 4.5):
+                assert core[voltage]["full"] < core[voltage]["inclusion"]
+
+    def test_current_rsd_near_paper(self, summaries):
+        # Section 4.2: 15.3% (FlexiCore4) and 21.5% (FlexiCore8).
+        assert 0.11 <= summaries["fc4"][4.5]["rsd"] <= 0.20
+        assert 0.16 <= summaries["fc8"][4.5]["rsd"] <= 0.27
+
+    def test_fc4_mean_current_near_1_1_ma(self, summaries):
+        assert 0.9 <= summaries["fc4"][4.5]["mean_current_ma"] <= 1.3
+        assert 0.6 <= summaries["fc4"][3.0]["mean_current_ma"] <= 0.9
+
+    def test_fc8_refined_process_draws_less(self, summaries):
+        assert summaries["fc8"][4.5]["mean_current_ma"] < \
+            summaries["fc4"][4.5]["mean_current_ma"]

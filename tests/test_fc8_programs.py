@@ -1,0 +1,80 @@
+"""Native FlexiCore8 demonstration programs vs their golden models."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import fc8_programs as fc8
+from repro.sim import run_program
+
+
+def run(program, inputs):
+    result, sink = run_program(program, inputs=inputs,
+                               max_cycles=200_000)
+    return sink.values
+
+
+class TestParity8:
+    def test_sampled_bytes(self):
+        inputs = list(range(0, 256, 11))
+        got = run(fc8.parity8_program(), inputs)
+        assert got == fc8.parity8_reference(inputs)
+
+    def test_single_read_per_byte(self):
+        """FlexiCore8 reads the whole octet at once (vs two nibble reads
+        on FlexiCore4)."""
+        program = fc8.parity8_program()
+        result, sink = run_program(program, inputs=[0xFF, 0x00])
+        assert sink.values == [0, 0]
+        assert result.stats.io_reads == 3  # 2 words + the failing read
+
+    def test_fits_one_page(self):
+        assert fc8.parity8_program().size_bytes <= 128
+
+
+class TestChecksum8:
+    def test_running_sum(self):
+        rng = np.random.default_rng(4)
+        inputs = [int(rng.integers(0, 256)) for _ in range(24)]
+        got = run(fc8.checksum_program(), inputs)
+        assert got == fc8.checksum_reference(inputs)
+
+    def test_seed_loaded_with_ldb(self):
+        program = fc8.checksum_program()
+        assert program.mnemonic_histogram().get("ldb") == 1
+        assert run(program, [0]) == [0xA5]
+
+    def test_wraps_mod_256(self):
+        got = run(fc8.checksum_program(), [0xFF, 0xFF])
+        assert got == [(0xA5 + 0xFF) & 0xFF, (0xA5 + 0x1FE) & 0xFF]
+
+
+class TestScaleClip8:
+    @pytest.mark.parametrize("value", [0, 50, 192, 193, 200, 250, 255])
+    def test_boundary_values(self, value):
+        got = run(fc8.scale_clip_program(), [value])
+        assert got == fc8.scale_clip_reference([value])
+
+    def test_random_stream(self):
+        rng = np.random.default_rng(9)
+        inputs = [int(rng.integers(0, 256)) for _ in range(40)]
+        got = run(fc8.scale_clip_program(), inputs)
+        assert got == fc8.scale_clip_reference(inputs)
+
+    def test_clipping_engages(self):
+        outputs = fc8.scale_clip_reference([255])
+        assert outputs == [min((255 + 7) & 0xFF, 0xC8)]
+
+
+class TestOnGateLevelSilicon:
+    """The FC8 demos also run on the gate-level netlist."""
+
+    def test_checksum_cross_check(self):
+        from repro.isa import get_isa
+        from repro.netlist import build_flexicore8, run_cross_check
+
+        isa = get_isa("flexicore8")
+        result = run_cross_check(
+            build_flexicore8(), isa, fc8.checksum_program(),
+            inputs=[1, 2, 3, 250], max_instructions=60,
+        )
+        assert result.passed, result.first_mismatch

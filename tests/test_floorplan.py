@@ -1,0 +1,85 @@
+"""Floorplan rendering tests (the Figure 4 die overlays)."""
+
+import pytest
+
+from repro.netlist import build_flexicore4, build_flexicore8
+from repro.netlist.floorplan import compare, render
+
+
+class TestRender:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return render(build_flexicore4())
+
+    def test_all_modules_labelled(self, text):
+        for module in ("memory", "alu", "pc", "acc", "decoder"):
+            assert f" {module} " in text
+
+    def test_memory_gets_the_most_rows(self, text):
+        lines = text.splitlines()
+        blocks = {}
+        current = None
+        for line in lines[2:]:
+            if line.startswith("+"):
+                current = None
+                continue
+            stripped = line.strip("| ")
+            if stripped:
+                current = stripped.split()[0]
+                blocks.setdefault(current, 0)
+            if current:
+                blocks[current] += 1
+        assert max(blocks, key=blocks.get) == "memory"
+
+    def test_constant_width(self, text):
+        widths = {len(line) for line in text.splitlines()[1:]}
+        assert len(widths) == 1
+
+    def test_header_carries_area(self, text):
+        assert "NAND2-eq" in text.splitlines()[0]
+
+
+class TestCompare:
+    def test_figure4_observation(self):
+        """Each chip allocates a different ratio of area to components:
+        FlexiCore8 trades memory share for ALU/accumulator share."""
+        text = compare([build_flexicore4(), build_flexicore8()])
+        lines = {line.split()[0]: line for line in text.splitlines()[1:]}
+
+        def shares(line):
+            return [float(tok.rstrip("%"))
+                    for tok in line.split()[1:]]
+
+        mem4, mem8 = shares(lines["memory"])
+        alu4, alu8 = shares(lines["alu"])
+        assert mem4 > mem8
+        assert alu8 > alu4
+
+    def test_missing_module_dash(self):
+        from repro.netlist.dse_cores import build_extended_core
+
+        text = compare([build_flexicore4(),
+                        build_extended_core(("shift",))])
+        shifter_line = next(line for line in text.splitlines()
+                            if line.startswith("shifter"))
+        assert "-" in shifter_line
+
+
+class TestCli:
+    def test_floorplan_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["floorplan", "flexicore8"]) == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_floorplan_compare(self, capsys):
+        from repro.cli import main
+
+        assert main(["floorplan", "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "flexicore4" in out and "flexicore8" in out
+
+    def test_floorplan_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["floorplan", "z80"]) == 2

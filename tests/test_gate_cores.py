@@ -1,0 +1,160 @@
+"""Gate-level FlexiCore4/8 vs the ISA simulator (the Section 4.1 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.fab.testing import directed_program, random_program
+from repro.isa import get_isa
+from repro.netlist import (
+    analyze,
+    build_flexicore4,
+    build_flexicore8,
+    run_cross_check,
+)
+
+
+@pytest.fixture(scope="module")
+def fc4():
+    return build_flexicore4()
+
+
+@pytest.fixture(scope="module")
+def fc8():
+    return build_flexicore8()
+
+
+class TestStructure:
+    def test_fc4_gate_and_device_counts_near_paper(self, fc4):
+        # Paper: 336 gates, 2104 devices.
+        assert 180 <= fc4.gate_count <= 450
+        assert 1500 <= fc4.device_count <= 2700
+        assert fc4.flop_count == 39  # 7 PC + 4 acc + 7x4 mem
+
+    def test_fc8_is_modestly_larger(self, fc8, fc4):
+        # Paper: FlexiCore8 uses ~9% more area than FlexiCore4.
+        ratio = fc8.nand2_area / fc4.nand2_area
+        assert 1.02 <= ratio <= 1.35
+
+    def test_memory_is_largest_module(self, fc4, fc8):
+        for netlist in (fc4, fc8):
+            breakdown = netlist.module_breakdown()
+            largest = max(breakdown, key=lambda m: breakdown[m]["area"])
+            assert largest == "memory"
+
+    def test_fc4_module_fractions_near_table2(self, fc4):
+        from repro.experiments.paper_data import TABLE2_AREA_PCT
+
+        breakdown = fc4.module_breakdown()
+        for module, paper_pct in TABLE2_AREA_PCT.items():
+            measured = 100 * breakdown[module]["area_fraction"]
+            assert abs(measured - paper_pct) < 12, module
+
+    def test_decoder_is_tiny(self, fc4):
+        breakdown = fc4.module_breakdown()
+        assert breakdown["decoder"]["area_fraction"] < 0.05
+
+    def test_only_library_cells_used(self, fc4, fc8):
+        from repro.tech.cells import LIBRARY
+
+        for netlist in (fc4, fc8):
+            for gate in netlist.gates:
+                assert gate.cell.name in LIBRARY
+
+    def test_netlists_validate(self, fc4, fc8):
+        assert fc4.validate() and fc8.validate()
+
+
+class TestCrossCheck:
+    def test_directed_program_fc4(self, fc4):
+        isa = get_isa("flexicore4")
+        result = run_cross_check(
+            fc4, isa, directed_program(isa),
+            inputs=list(range(16)) * 4, max_instructions=400,
+        )
+        assert result.passed, result.first_mismatch
+
+    def test_directed_program_fc8(self, fc8):
+        isa = get_isa("flexicore8")
+        result = run_cross_check(
+            fc8, isa, directed_program(isa),
+            inputs=list(range(16)) * 4, max_instructions=400,
+        )
+        assert result.passed, result.first_mismatch
+
+    def test_fc8_load_byte_on_silicon(self, fc8):
+        isa = get_isa("flexicore8")
+        program = assemble(
+            "ldb 0xA5\nstore 2\nload 2\nstore 1\nnandi 0\nbrn 0\n", isa
+        )
+        result = run_cross_check(fc8, isa, program, max_instructions=40)
+        assert result.passed, result.first_mismatch
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_programs_fc4(self, fc4, seed):
+        isa = get_isa("flexicore4")
+        rng = np.random.default_rng(seed)
+        program = random_program(isa, rng, length=80)
+        inputs = [int(rng.integers(0, 16)) for _ in range(128)]
+        result = run_cross_check(
+            fc4, isa, program, inputs=inputs, max_instructions=300,
+        )
+        assert result.passed, result.first_mismatch
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_random_programs_fc8(self, fc8, seed):
+        isa = get_isa("flexicore8")
+        rng = np.random.default_rng(seed)
+        program = random_program(isa, rng, length=60)
+        inputs = [int(rng.integers(0, 256)) for _ in range(128)]
+        result = run_cross_check(
+            fc8, isa, program, inputs=inputs, max_instructions=250,
+        )
+        assert result.passed, result.first_mismatch
+
+    def test_all_gates_toggle_on_directed_vectors(self, fc4):
+        """Section 4.1: 'all gates toggle at least once'."""
+        isa = get_isa("flexicore4")
+        result = run_cross_check(
+            fc4, isa, directed_program(isa),
+            inputs=[(3 * i) % 16 for i in range(256)],
+            max_instructions=500,
+        )
+        assert result.passed
+        assert result.toggle_fraction > 0.9
+
+    def test_multi_page_program_rejected(self, fc4):
+        isa = get_isa("flexicore4")
+        program = assemble("addi 1\n.page 1\naddi 2\n", isa)
+        with pytest.raises(ValueError):
+            run_cross_check(fc4, isa, program)
+
+
+class TestTiming:
+    def test_fc8_critical_path_longer_than_fc4(self, fc4, fc8):
+        # Section 4.1: the 8-bit ripple adder roughly doubles the chain.
+        r4, r8 = analyze(fc4), analyze(fc8)
+        assert r8.critical_delay_units > 1.2 * r4.critical_delay_units
+
+    def test_fc4_meets_test_clock_at_both_voltages(self, fc4):
+        report = analyze(fc4)
+        assert report.meets(12.5e3, vdd=4.5)
+        assert report.meets(12.5e3, vdd=3.0)  # typical die is marginal
+
+    def test_fc8_fails_test_clock_at_3v(self, fc8):
+        report = analyze(fc8)
+        assert report.meets(12.5e3, vdd=4.5)
+        assert not report.meets(12.5e3, vdd=3.0)
+
+    def test_slow_die_fails(self, fc4):
+        report = analyze(fc4)
+        assert not report.meets(12.5e3, vdd=3.0, speed_factor=2.0)
+
+    def test_critical_path_is_nonempty(self, fc4):
+        report = analyze(fc4)
+        assert report.levels > 5
+        assert len(report.critical_path) == report.levels
+
+    def test_period_scales_with_voltage(self, fc4):
+        report = analyze(fc4)
+        assert report.period_s(vdd=3.0) > report.period_s(vdd=4.5)

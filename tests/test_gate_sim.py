@@ -1,0 +1,152 @@
+"""Gate-level simulator machinery: levelization, faults, buses."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import GateInst, Netlist
+from repro.netlist.sim import CombinationalLoopError, GateLevelSimulator
+from repro.tech.cells import get_cell
+
+
+def counter_netlist(width=3):
+    """A small synchronous counter: q <- q + 1 each cycle."""
+    b = NetlistBuilder("counter")
+    q = [b.net(f"q{i}") for i in range(width)]
+    inc, _ = b.incrementer(q)
+    for i in range(width):
+        b.dff(inc[i], out=q[i])
+        b.output(q[i])
+    return b.build(), q
+
+
+class TestSequentialBehaviour:
+    def test_counter_counts(self):
+        netlist, q = counter_netlist()
+        sim = GateLevelSimulator(netlist)
+        values = []
+        for _ in range(10):
+            sim.step()
+            values.append(sum(sim.values[q[i]] << i for i in range(3)))
+        assert values == [1, 2, 3, 4, 5, 6, 7, 0, 1, 2]
+
+    def test_cycle_counter(self):
+        netlist, _ = counter_netlist()
+        sim = GateLevelSimulator(netlist)
+        for _ in range(5):
+            sim.step()
+        assert sim.cycles == 5
+
+
+class TestBusAccess:
+    def test_read_bus(self):
+        b = NetlistBuilder("bus")
+        x = b.input_bus("x", 4)
+        for i, net in enumerate(x):
+            b.output(b.buf(net), name=f"y{i}")
+        sim = GateLevelSimulator(b.build())
+        sim.set_inputs({"x": 0b1010})
+        sim._settle(count_toggles=False)
+        assert sim.read_bus("y", 4) == 0b1010
+
+    def test_missing_bus_raises(self):
+        netlist, _ = counter_netlist()
+        sim = GateLevelSimulator(netlist)
+        with pytest.raises(KeyError):
+            sim.read_bus("nothere")
+        with pytest.raises(KeyError):
+            sim.set_inputs({"nothere": 1})
+
+
+class TestLoopDetection:
+    def test_combinational_loop_raises(self):
+        netlist = Netlist(name="loop")
+        cell = get_cell("INV_X1")
+        netlist.gates.append(GateInst("i1", cell, ("b",), "a", "core"))
+        netlist.gates.append(GateInst("i2", cell, ("a",), "b", "core"))
+        with pytest.raises(CombinationalLoopError):
+            GateLevelSimulator(netlist)
+
+
+class TestFaultInjection:
+    def test_stuck_output_propagates(self):
+        b = NetlistBuilder("faulty")
+        a = b.input("a")
+        n1 = b.inv(a)
+        n2 = b.inv(n1)
+        b.output(n2)
+        netlist = b.build()
+        sim = GateLevelSimulator(netlist)
+        inv1 = netlist.gates[0].name
+        sim.inject_fault(inv1, 1)
+        sim.set_inputs({"a": 1})
+        sim._settle(count_toggles=False)
+        # Healthy: n2 == a == 1.  Faulted: n1 stuck 1 -> n2 == 0.
+        assert sim.values[n2] == 0
+
+    def test_clear_faults_restores(self):
+        b = NetlistBuilder("faulty")
+        a = b.input("a")
+        out = b.inv(b.inv(a))
+        b.output(out)
+        netlist = b.build()
+        sim = GateLevelSimulator(netlist)
+        sim.set_inputs({"a": 1})
+        sim.inject_fault(netlist.gates[0].name, 1)
+        sim.clear_faults()
+        sim._settle(count_toggles=False)
+        assert sim.values[out] == 1
+
+    def test_unknown_gate_rejected(self):
+        netlist, _ = counter_netlist()
+        sim = GateLevelSimulator(netlist)
+        with pytest.raises(KeyError):
+            sim.inject_fault("bogus", 0)
+
+    def test_flop_fault(self):
+        netlist, q = counter_netlist()
+        flop = next(g for g in netlist.gates if g.sequential)
+        sim = GateLevelSimulator(netlist)
+        sim.inject_fault(flop.name, 0)
+        for _ in range(4):
+            sim.step()
+        assert sim.values[flop.output] == 0  # held at stuck value
+
+
+class TestToggleCoverage:
+    def test_counter_toggles_every_gate(self):
+        netlist, _ = counter_netlist()
+        sim = GateLevelSimulator(netlist)
+        for _ in range(16):
+            sim.step()
+        fraction, mean = sim.toggle_coverage()
+        assert fraction == 1.0
+        assert mean > 1.0
+
+    def test_idle_design_has_zero_mean(self):
+        b = NetlistBuilder("idle")
+        a = b.input("a")
+        b.output(b.buf(a))
+        sim = GateLevelSimulator(b.build())
+        sim.step()
+        _, mean = sim.toggle_coverage()
+        assert mean == 0.0
+
+
+class TestNetlistMetrics:
+    def test_cell_histogram(self):
+        netlist, _ = counter_netlist()
+        histogram = netlist.cell_histogram()
+        assert histogram["DFF_X1"] == 3
+
+    def test_function_histogram(self):
+        netlist, _ = counter_netlist()
+        assert netlist.function_histogram()["dff"] == 3
+
+    def test_breakdown_fractions_sum_to_one(self):
+        from repro.netlist import build_flexicore4
+
+        breakdown = build_flexicore4().module_breakdown()
+        assert sum(e["area_fraction"] for e in breakdown.values()) == \
+            pytest.approx(1.0)
+        assert sum(e["pullup_fraction"] for e in breakdown.values()) == \
+            pytest.approx(1.0)

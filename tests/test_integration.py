@@ -1,0 +1,150 @@
+"""End-to-end integration: the full paper pipeline in one test module.
+
+These tests chain the layers the way the paper's project did:
+write assembly -> assemble -> run on the ISA model -> run the same
+binary on the gate-level netlist -> synthesize (export) -> fabricate ->
+probe -> account energy, checking cross-layer consistency at each seam.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asm import Assembler, assemble
+from repro.isa import get_isa
+from repro.kernels.kernel import Target
+from repro.kernels.macros import build_library
+from repro.sim import run_program
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        """Build everything once: program, netlist, wafer, probe."""
+        from repro.fab import FC4_WAFER, fabricate_wafer
+        from repro.netlist import analyze, build_flexicore4
+
+        isa = get_isa("flexicore4")
+        program = assemble(
+            "loop: load 0\nxori 5\nstore 1\nnandi 0\nbrn loop\n", isa
+        )
+        netlist = build_flexicore4()
+        rng = np.random.default_rng(77)
+        wafer = fabricate_wafer(netlist, FC4_WAFER, rng)
+        probe = wafer.probe(4.5, rng)
+        return {
+            "isa": isa, "program": program, "netlist": netlist,
+            "timing": analyze(netlist), "wafer": wafer, "probe": probe,
+        }
+
+    def test_functional_and_gate_models_agree(self, artifacts):
+        from repro.netlist import run_cross_check
+
+        result = run_cross_check(
+            artifacts["netlist"], artifacts["isa"],
+            artifacts["program"], inputs=list(range(16)),
+            max_instructions=80,
+        )
+        assert result.passed, result.first_mismatch
+
+    def test_verilog_export_covers_the_netlist(self, artifacts):
+        from repro.netlist import to_verilog
+
+        text = to_verilog(artifacts["netlist"])
+        assert text.count("DFF") >= artifacts["netlist"].flop_count
+
+    def test_probed_yield_consistent_with_timing(self, artifacts):
+        """Every die the probe passed must individually meet timing and
+        be defect-free -- no accounting drift between layers."""
+        probe = artifacts["probe"]
+        timing = artifacts["timing"]
+        for die, record in zip(artifacts["wafer"].dies, probe.records):
+            expected = (not die.has_defect) and timing.meets(
+                12.5e3, vdd=4.5, speed_factor=die.speed_factor
+            )
+            assert record.functional == expected
+
+    def test_energy_accounting_closes(self, artifacts):
+        """Chip-level energy = per-die power x simulated time."""
+        from repro.tech.power import energy_j
+
+        result, _ = run_program(
+            artifacts["program"], inputs=list(range(12)),
+        )
+        probe = artifacts["probe"]
+        mean_current_ma = probe.current_statistics()[0]
+        power_w = mean_current_ma * 1e-3 * 4.5
+        energy = energy_j(power_w, result.instructions)
+        # ~60 instructions at ~400 nJ each: tens of microjoules.
+        assert 5e-6 < energy < 1e-4
+
+    def test_good_die_cost_is_sub_cent_at_volume(self, artifacts):
+        from repro.fab.cost import flexible_die_cost
+
+        estimate = flexible_die_cost(
+            artifacts["probe"].yield_fraction(True)
+        )
+        assert estimate.sub_cent
+
+
+class TestKernelBinariesOnSilicon:
+    """Single-page Table 6 kernels run unmodified on the gate netlist."""
+
+    @pytest.mark.parametrize("kernel_name,inputs", [
+        ("thresholding", [1, 12, 3]),
+        ("intavg", [8, 4, 2]),
+        ("parity", [0xF, 0x0, 0x3, 0x5]),
+        ("fir", [1, 2, 3, 4]),
+    ])
+    def test_kernel_on_gate_level(self, kernel_name, inputs):
+        from repro.kernels.suite import get_kernel
+        from repro.netlist import build_flexicore4, run_cross_check
+
+        target = Target.named("flexicore4")
+        kernel = get_kernel(kernel_name)
+        program = kernel.program(target)
+        if len(program.pages) > 1:
+            pytest.skip("gate-level harness is single-page")
+        result = run_cross_check(
+            build_flexicore4(), target.isa, program,
+            inputs=inputs, max_instructions=600,
+        )
+        assert result.passed, result.first_mismatch
+
+
+class TestReprogrammingScenario:
+    def test_same_die_two_programs(self):
+        """Field reprogrammability end to end: two different binaries on
+        one gate-level 'die' produce their respective behaviours."""
+        from repro.netlist import build_flexicore4, run_cross_check
+
+        isa = get_isa("flexicore4")
+        netlist = build_flexicore4()
+        doubler = assemble(
+            "loop: load 0\nstore 2\nadd 2\nstore 1\nnandi 0\nbrn loop\n",
+            isa,
+        )
+        inverter = assemble(
+            "loop: load 0\nnandi 15\nstore 1\nnandi 0\nbrn loop\n", isa
+        )
+        for program in (doubler, inverter):
+            result = run_cross_check(
+                netlist, isa, program, inputs=[1, 2, 3],
+                max_instructions=40,
+            )
+            assert result.passed
+
+    def test_mmu_extends_reach_beyond_128_bytes(self):
+        isa = get_isa("flexicore4")
+        library = build_library(isa)
+        # 150+ bytes of work spread over two pages.
+        source = ["    %ldi 1", "    store 1"]
+        source += ["    addi 0"] * 100
+        source += ["    %farjump 1, more", ".page 1", "more:"]
+        source += ["    addi 0"] * 60
+        source += ["    %ldi 2", "    store 1", "    %halt"]
+        program = Assembler(isa, library).assemble("\n".join(source))
+        assert program.size_bytes > 128
+        result, sink = run_program(program)
+        assert sink.values == [1, 2]
+        # On the base ISA %halt is the branch-to-self idiom.
+        assert result.reason == "self_branch"

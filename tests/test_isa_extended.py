@@ -1,0 +1,222 @@
+"""Extended accumulator ISA (Section 6.1): feature gating and semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import DecodeError, get_isa
+from repro.isa.extended import (
+    ALL_FEATURES,
+    FLEXICORE4PLUS_FEATURES,
+    FULL_FEATURES,
+    ExtendedAccumulator,
+)
+
+FULL = get_isa("extacc")
+BASE = get_isa("extacc[base]")
+
+
+def execute(isa, mnemonic, operands, acc=0, carry=0, mem=None, pc=0):
+    state = isa.new_state()
+    state.acc = acc
+    state.carry = carry
+    state.pc = pc
+    if mem:
+        for addr, value in mem.items():
+            state.mem[addr] = value
+    decoded = isa.decode(isa.encode(mnemonic, operands))
+    isa.execute(state, decoded)
+    return state
+
+
+class TestFeatureGating:
+    def test_base_matches_flexicore4_operations(self):
+        base_ops = set(BASE.mnemonics())
+        # Base semantics plus the simulator conveniences and EXT nand.
+        assert "adc" not in base_ops
+        assert "lsri" not in base_ops
+        assert "br" not in base_ops
+        assert "call" not in base_ops
+        assert {"add", "addi", "nand", "nandi", "xor", "xori",
+                "load", "store", "brn"} <= base_ops
+
+    @pytest.mark.parametrize("feature,mnemonics", [
+        ("adc", {"adc", "adci", "swb"}),
+        ("shift", {"lsri", "asri"}),
+        ("flags", {"br"}),
+        ("mult", {"mull", "mulh"}),
+        ("xchg", {"xch"}),
+        ("subr", {"call", "ret"}),
+        ("fullalu", {"and", "andi", "or", "ori", "sub", "neg"}),
+    ])
+    def test_feature_enables_exactly_its_instructions(self, feature,
+                                                      mnemonics):
+        isa = get_isa(f"extacc[{feature}]")
+        enabled = set(isa.mnemonics()) - set(BASE.mnemonics())
+        assert enabled == mnemonics
+
+    def test_mem2x_doubles_memory(self):
+        assert get_isa("extacc[mem2x]").mem_words == 16
+        assert BASE.mem_words == 8
+
+    def test_flexicore4plus_is_shift_plus_flags(self):
+        isa = get_isa("flexicore4plus")
+        assert isa.has("lsri") and isa.has("br")
+        assert not isa.has("adc") and not isa.has("call")
+        assert FLEXICORE4PLUS_FEATURES == frozenset({"shift", "flags"})
+
+    def test_full_features_match_revised_operation_list(self):
+        # Section 6.1 rejects the multiplier and the doubled memory.
+        assert "mult" not in FULL_FEATURES
+        assert "mem2x" not in FULL_FEATURES
+        assert FULL.has("adci") and FULL.has("swb") and FULL.has("xch")
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedAccumulator(features={"warp-drive"})
+
+    def test_disabled_instructions_do_not_decode(self):
+        encoded = FULL.encode("lsri", (2,))
+        with pytest.raises(DecodeError):
+            BASE.decode(encoded)
+
+
+class TestCarryChain:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_adc_uses_and_sets_carry(self, acc, value, carry):
+        state = execute(FULL, "adc", (3,), acc=acc, carry=carry,
+                        mem={3: value})
+        total = acc + value + carry
+        assert state.acc == total & 0xF
+        assert state.carry == total >> 4
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_add_sets_carry_for_adc(self, acc, value):
+        state = execute(FULL, "add", (3,), acc=acc, mem={3: value})
+        assert state.carry == ((acc + value) >> 4)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_eight_bit_addition_via_add_adc(self, a, b):
+        """The 'data coalescing' use case: two nibbles chained."""
+        state = FULL.new_state()
+        state.mem[2], state.mem[3] = a & 0xF, a >> 4
+        state.mem[4], state.mem[5] = b & 0xF, b >> 4
+
+        def run(mnemonic, operands):
+            decoded = FULL.decode(FULL.encode(mnemonic, operands))
+            FULL.execute(state, decoded)
+
+        run("load", (2,))
+        run("add", (4,))
+        run("store", (6,))
+        run("load", (3,))
+        run("adc", (5,))
+        total = (a + b) & 0xFF
+        assert (state.acc << 4) | state.mem[6] == total
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_swb_subtract_with_borrow(self, acc, value, carry):
+        state = execute(FULL, "swb", (3,), acc=acc, carry=carry,
+                        mem={3: value})
+        total = acc - value - (1 - carry)
+        assert state.acc == total & 0xF
+        assert state.carry == (0 if total < 0 else 1)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_sub_sets_not_borrow(self, acc, value):
+        state = execute(FULL, "sub", (3,), acc=acc, mem={3: value})
+        assert state.acc == (acc - value) & 0xF
+        assert state.carry == (1 if acc >= value else 0)
+
+
+class TestShifts:
+    @given(st.integers(0, 15), st.integers(1, 3))
+    def test_lsri(self, acc, shamt):
+        state = execute(FULL, "lsri", (shamt,), acc=acc)
+        assert state.acc == acc >> shamt
+
+    @given(st.integers(0, 15), st.integers(1, 3))
+    def test_asri_replicates_sign(self, acc, shamt):
+        state = execute(FULL, "asri", (shamt,), acc=acc)
+        signed = acc - 16 if acc & 8 else acc
+        assert state.acc == (signed >> shamt) & 0xF
+
+
+class TestBranchesAndCalls:
+    @given(st.integers(0, 15), st.integers(1, 7))
+    def test_br_nzp_condition(self, acc, mask):
+        state = execute(FULL, "br", (mask, 0x40), acc=acc, pc=0)
+        negative = bool(acc & 8)
+        zero = acc == 0
+        positive = not negative and not zero
+        taken = bool(
+            (mask & 4 and negative) or (mask & 2 and zero)
+            or (mask & 1 and positive)
+        )
+        assert (state.pc == 0x40) == taken
+        if not taken:
+            assert state.pc == 2  # two-byte instruction
+
+    def test_unconditional_br(self):
+        for acc in (0, 1, 8, 15):
+            state = execute(FULL, "br", (7, 9), acc=acc)
+            assert state.pc == 9
+
+    def test_call_saves_return_address(self):
+        state = execute(FULL, "call", (0x30,), pc=10)
+        assert state.pc == 0x30
+        assert state.retaddr == 12
+
+    def test_ret_restores(self):
+        state = FULL.new_state()
+        state.retaddr = 0x22
+        decoded = FULL.decode(FULL.encode("ret", ()))
+        FULL.execute(state, decoded)
+        assert state.pc == 0x22
+
+    def test_brn_unchanged_from_base(self):
+        state = execute(FULL, "brn", (5,), acc=0x8)
+        assert state.pc == 5
+
+
+class TestDatapathOps:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_xch_swaps(self, acc, value):
+        state = execute(FULL, "xch", (4,), acc=acc, mem={4: value})
+        assert state.acc == value
+        assert state.mem[4] == acc
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_mull_mulh(self, acc, value):
+        isa = get_isa("extacc[mult]")
+        product = acc * value
+        state = execute(isa, "mull", (3,), acc=acc, mem={3: value})
+        assert state.acc == product & 0xF
+        state = execute(isa, "mulh", (3,), acc=acc, mem={3: value})
+        assert state.acc == product >> 4
+
+    @given(st.integers(0, 15))
+    def test_neg(self, acc):
+        state = execute(FULL, "neg", (), acc=acc)
+        assert state.acc == (-acc) & 0xF
+
+    def test_halt_sets_flag(self):
+        state = execute(FULL, "halt", ())
+        assert state.halted
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("isa_name", [
+        "extacc", "extacc[base]", "flexicore4plus", "extacc[mult]",
+        "extacc[adc+subr]",
+    ])
+    def test_encode_decode_all_instructions(self, isa_name):
+        isa = get_isa(isa_name)
+        for mnemonic in isa.mnemonics():
+            spec = isa.spec(mnemonic)
+            operands = tuple(max(op.lo, 1) if op.kind.name != "TARGET"
+                             else 3 for op in spec.operands)
+            encoded = isa.encode(mnemonic, operands)
+            decoded = isa.decode(encoded)
+            assert decoded.mnemonic == mnemonic
+            assert decoded.spec.encode(decoded.operands) == encoded

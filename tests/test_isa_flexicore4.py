@@ -1,0 +1,167 @@
+"""FlexiCore4 ISA: encodings of Figure 2a and instruction semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import DecodeError, OperandRangeError, get_isa
+
+ISA = get_isa("flexicore4")
+
+
+def decode1(byte):
+    return ISA.decode(bytes([byte]))
+
+
+def execute(mnemonic, operands, acc=0, mem=None, pc=0, input_value=0):
+    state = ISA.new_state()
+    state.acc = acc
+    state.pc = pc
+    if mem:
+        for addr, value in mem.items():
+            state.mem[addr] = value
+    state.input_fn = lambda: input_value
+    decoded = ISA.decode(ISA.encode(mnemonic, operands))
+    ISA.execute(state, decoded)
+    return state
+
+
+class TestEncodingMatchesFigure2a:
+    """Bit-exact checks against the published instruction formats."""
+
+    def test_branch_format(self):
+        assert ISA.encode("brn", (0x55,)) == bytes([0b1101_0101])
+
+    def test_itype_add(self):
+        assert ISA.encode("addi", (0b0011,)) == bytes([0b0100_0011])
+
+    def test_itype_nand(self):
+        assert ISA.encode("nandi", (0,)) == bytes([0b0101_0000])
+
+    def test_itype_xor(self):
+        assert ISA.encode("xori", (0xF,)) == bytes([0b0110_1111])
+
+    def test_mtype_ops_have_bit6_clear(self):
+        for mnemonic, op in (("add", 0), ("nand", 1), ("xor", 2)):
+            byte = ISA.encode(mnemonic, (5,))[0]
+            assert byte >> 6 == 0
+            assert (byte >> 4) & 0b11 == op
+            assert byte & 0b111 == 5
+
+    def test_ttype_load_store(self):
+        assert ISA.encode("load", (3,)) == bytes([0b0111_0011])
+        assert ISA.encode("store", (3,)) == bytes([0b0111_1011])
+
+    def test_bits_5_4_drive_alu_select(self):
+        # Section 3.3: instruction bits 5:4 wire to the ALU output mux.
+        assert (ISA.encode("addi", (0,))[0] >> 4) & 0b11 == 0b00
+        assert (ISA.encode("nandi", (0,))[0] >> 4) & 0b11 == 0b01
+        assert (ISA.encode("xori", (0,))[0] >> 4) & 0b11 == 0b10
+
+    def test_negative_immediates_accepted(self):
+        assert ISA.encode("addi", (-3,)) == ISA.encode("addi", (13,))
+
+    def test_operand_range_errors(self):
+        with pytest.raises(OperandRangeError):
+            ISA.encode("brn", (128,))
+        with pytest.raises(OperandRangeError):
+            ISA.encode("load", (8,))
+        with pytest.raises(OperandRangeError):
+            ISA.encode("addi", (16,))
+
+
+class TestDecode:
+    def test_every_instruction_roundtrips(self):
+        for mnemonic in ISA.mnemonics():
+            spec = ISA.spec(mnemonic)
+            operands = tuple(op.lo if op.lo >= 0 else 1
+                             for op in spec.operands)
+            encoded = ISA.encode(mnemonic, operands)
+            decoded = ISA.decode(encoded)
+            assert decoded.mnemonic == mnemonic
+            assert decoded.spec.encode(decoded.operands) == encoded
+
+    def test_exhaustive_byte_space(self):
+        """Every byte either decodes and re-encodes to itself, or is a
+        documented hole (M-type op=11 or bit3 set)."""
+        for byte in range(256):
+            try:
+                decoded = decode1(byte)
+            except DecodeError:
+                assert byte & 0xC0 == 0  # only M-type space has holes
+                assert (byte & 0b1000) or ((byte >> 4) & 0b11) == 0b11
+                continue
+            assert decoded.spec.encode(decoded.operands) == bytes([byte])
+
+    def test_branch_decodes_target(self):
+        decoded = decode1(0b1000_1010)
+        assert decoded.mnemonic == "brn"
+        assert decoded.operands == (0b000_1010,)
+
+
+class TestSemantics:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_addi(self, acc, imm):
+        state = execute("addi", (imm,), acc=acc)
+        assert state.acc == (acc + imm) & 0xF
+        assert state.pc == 1
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_nandi(self, acc, imm):
+        state = execute("nandi", (imm,), acc=acc)
+        assert state.acc == (~(acc & imm)) & 0xF
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_xori(self, acc, imm):
+        state = execute("xori", (imm,), acc=acc)
+        assert state.acc == acc ^ imm
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_memory_operand_ops(self, acc, value):
+        state = execute("add", (3,), acc=acc, mem={3: value})
+        assert state.acc == (acc + value) & 0xF
+        state = execute("nand", (3,), acc=acc, mem={3: value})
+        assert state.acc == (~(acc & value)) & 0xF
+        state = execute("xor", (3,), acc=acc, mem={3: value})
+        assert state.acc == acc ^ value
+
+    def test_load_store(self):
+        state = execute("load", (4,), mem={4: 9})
+        assert state.acc == 9
+        state = execute("store", (4,), acc=7)
+        assert state.mem[4] == 7
+
+    def test_load_address_zero_reads_input_port(self):
+        state = execute("load", (0,), input_value=0xC)
+        assert state.acc == 0xC
+        assert state.io_reads == 1
+
+    def test_alu_with_address_zero_reads_input_port(self):
+        state = execute("add", (0,), acc=1, input_value=2)
+        assert state.acc == 3
+
+    def test_store_address_one_drives_output(self):
+        outputs = []
+        state = ISA.new_state()
+        state.acc = 0xB
+        state.output_fn = outputs.append
+        decoded = ISA.decode(ISA.encode("store", (1,)))
+        ISA.execute(state, decoded)
+        assert outputs == [0xB]
+
+    @given(st.integers(0, 15), st.integers(0, 127))
+    def test_branch_on_msb_only(self, acc, target):
+        state = execute("brn", (target,), acc=acc, pc=10)
+        if acc & 0x8:
+            assert state.pc == target
+        else:
+            assert state.pc == 11
+
+    def test_pc_wraps_at_seven_bits(self):
+        state = execute("addi", (0,), pc=127)
+        assert state.pc == 0
+
+    def test_no_carry_flag_architected(self):
+        state = execute("addi", (15,), acc=15)
+        assert state.acc == 14
+        assert state.carry == 0  # the base ISA never sets carry

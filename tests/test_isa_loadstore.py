@@ -1,0 +1,160 @@
+"""Load-store ISA (Section 6.2): two-operand semantics and encodings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import DecodeError, get_isa
+
+ISA = get_isa("loadstore")
+
+
+def execute(mnemonic, operands, regs=None, carry=0, pc=0, input_value=0):
+    state = ISA.new_state()
+    state.carry = carry
+    state.pc = pc
+    state.input_fn = lambda: input_value
+    if regs:
+        for index, value in regs.items():
+            state.mem[index] = value
+    decoded = ISA.decode(ISA.encode(mnemonic, operands))
+    ISA.execute(state, decoded)
+    return state
+
+
+class TestShape:
+    def test_all_instructions_are_sixteen_bits(self):
+        assert all(spec.size == 2 for spec in ISA.specs.values())
+        assert ISA.fetch_bits == 16
+
+    def test_not_an_accumulator_machine(self):
+        assert ISA.accumulator is False
+
+    def test_register_count(self):
+        assert ISA.mem_words == 8
+
+
+class TestRTypeSemantics:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_add(self, a, b):
+        state = execute("add", (1, 2), regs={1: a, 2: b})
+        assert state.read_reg(1) == (a + b) & 0xF
+        assert state.carry == (a + b) >> 4
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    def test_adc(self, a, b, carry):
+        state = execute("adc", (1, 2), regs={1: a, 2: b}, carry=carry)
+        assert state.read_reg(1) == (a + b + carry) & 0xF
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_sub_and_carry_convention(self, a, b):
+        state = execute("sub", (1, 2), regs={1: a, 2: b})
+        assert state.read_reg(1) == (a - b) & 0xF
+        assert state.carry == (1 if a >= b else 0)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_logic_ops(self, a, b):
+        for mnemonic, fn in (("and", lambda x, y: x & y),
+                             ("or", lambda x, y: x | y),
+                             ("xor", lambda x, y: x ^ y)):
+            state = execute(mnemonic, (1, 2), regs={1: a, 2: b})
+            assert state.read_reg(1) == fn(a, b)
+
+    def test_mov_and_xch(self):
+        state = execute("mov", (1, 2), regs={1: 3, 2: 9})
+        assert state.read_reg(1) == 9
+        state = execute("xch", (1, 2), regs={1: 3, 2: 9})
+        assert state.read_reg(1) == 9 and state.read_reg(2) == 3
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_multiplier(self, a, b):
+        product = a * b
+        state = execute("mull", (1, 2), regs={1: a, 2: b})
+        assert state.read_reg(1) == product & 0xF
+        state = execute("mulh", (1, 2), regs={1: a, 2: b})
+        assert state.read_reg(1) == product >> 4
+
+    @given(st.integers(0, 15), st.integers(1, 3))
+    def test_shifts(self, a, shamt):
+        state = execute("lsri", (1, shamt), regs={1: a})
+        assert state.read_reg(1) == a >> shamt
+        signed = a - 16 if a & 8 else a
+        state = execute("asri", (1, shamt), regs={1: a})
+        assert state.read_reg(1) == (signed >> shamt) & 0xF
+
+
+class TestITypeSemantics:
+    @given(st.integers(0, 15), st.integers(0, 255))
+    def test_movi_truncates_to_width(self, a, imm):
+        state = execute("movi", (1, imm), regs={1: a})
+        assert state.read_reg(1) == imm & 0xF
+
+    @given(st.integers(0, 15), st.integers(0, 255))
+    def test_addi(self, a, imm):
+        state = execute("addi", (1, imm), regs={1: a})
+        assert state.read_reg(1) == (a + (imm & 0xF)) & 0xF
+
+
+class TestControlFlow:
+    @given(st.integers(0, 15), st.integers(1, 7))
+    def test_branch_nzp_on_register(self, value, mask):
+        state = execute("br", (mask, 2, 0x50), regs={2: value})
+        negative = bool(value & 8)
+        zero = value == 0
+        positive = not negative and not zero
+        taken = bool((mask & 4 and negative) or (mask & 2 and zero)
+                     or (mask & 1 and positive))
+        assert (state.pc == 0x50) == taken
+
+    def test_unconditional_jump_idiom(self):
+        # 'br nzp, r0, t' is always taken: r0 is n, z or p whatever it is.
+        for value in (0, 5, 12):
+            state = execute("br", (7, 0, 0x10), regs={0: value})
+            assert state.pc == 0x10
+
+    def test_call_ret(self):
+        state = execute("call", (0x20,), pc=6)
+        assert state.pc == 0x20 and state.retaddr == 8
+        state = ISA.new_state()
+        state.retaddr = 0x44
+        decoded = ISA.decode(ISA.encode("ret", ()))
+        ISA.execute(state, decoded)
+        assert state.pc == 0x44
+
+
+class TestIo:
+    def test_in_reads_input_bus(self):
+        state = execute("in", (3,), input_value=0xE)
+        assert state.read_reg(3) == 0xE
+
+    def test_out_writes_output_bus(self):
+        outputs = []
+        state = ISA.new_state()
+        state.mem[5] = 0xB
+        state.output_fn = outputs.append
+        decoded = ISA.decode(ISA.encode("out", (5,)))
+        ISA.execute(state, decoded)
+        assert outputs == [0xB]
+
+
+class TestEncoding:
+    def test_roundtrip_all_instructions(self):
+        for mnemonic in ISA.mnemonics():
+            spec = ISA.spec(mnemonic)
+            operands = tuple(
+                3 if op.kind.name == "TARGET" else max(op.lo, 1)
+                for op in spec.operands
+            )
+            encoded = ISA.encode(mnemonic, operands)
+            decoded = ISA.decode(encoded)
+            assert decoded.mnemonic == mnemonic
+            assert decoded.spec.encode(decoded.operands) == encoded
+
+    def test_branch_never_is_invalid(self):
+        word = (0b001 << 13) | (0 << 10) | (1 << 7) | 5
+        with pytest.raises(DecodeError):
+            ISA.decode(bytes([word >> 8, word & 0xFF]))
+
+    def test_truncated_instruction_raises(self):
+        with pytest.raises(DecodeError):
+            ISA.decode(bytes([0x00]))

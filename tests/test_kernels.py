@@ -1,0 +1,317 @@
+"""Benchmark kernels: golden-model checks and per-kernel behaviours.
+
+Every kernel is checked output-for-output against its Python reference on
+every target (the software analogue of the paper's per-die vector
+testing), plus kernel-specific properties: the PRNG's full period, the
+calculator's exhaustive small-operand behaviour, FIR saturation rails,
+and exhaustive parity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import calculator, decision_tree, fir, parity, xorshift
+from repro.kernels.kernel import Target
+from repro.kernels.suite import SUITE, check_suite, get_kernel, kernel_names
+
+TARGETS = ["flexicore4", "extacc", "flexicore4plus", "loadstore",
+           "extacc[base]", "extacc[shift]", "extacc[flags]",
+           "extacc[subr]", "extacc[mult]"]
+
+
+@pytest.fixture(scope="module", params=TARGETS)
+def target(request):
+    return Target.named(request.param)
+
+
+class TestSuiteRegistry:
+    def test_table6_order(self):
+        assert kernel_names() == (
+            "Calculator", "Four-tap FIR", "Decision Tree", "IntAvg",
+            "Thresholding", "Parity Check", "XorShift8",
+        )
+
+    def test_aliases(self):
+        assert get_kernel("xorshift8").name == "XorShift8"
+        assert get_kernel("Decision Tree").name == "Decision Tree"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("quake")
+
+
+@pytest.mark.parametrize("kernel", SUITE, ids=lambda k: k.name)
+class TestGoldenModel:
+    def test_matches_reference(self, target, kernel):
+        rng = np.random.default_rng(1234)
+        inputs = kernel.generate_inputs(rng, 10)
+        result = kernel.check(target, inputs)
+        assert result.instructions > 0
+
+    def test_deterministic(self, target, kernel):
+        inputs = kernel.generate_inputs(np.random.default_rng(7), 4)
+        _, out1 = kernel.run(target, list(inputs))
+        _, out2 = kernel.run(target, list(inputs))
+        assert out1 == out2
+
+
+class TestStaticShape:
+    """Static instruction counts land in the paper's order of magnitude
+    and shrink monotonically from base to the revised ISA."""
+
+    def test_base_counts_within_2x_of_paper(self):
+        from repro.experiments.paper_data import TABLE6
+
+        target = Target.named("flexicore4")
+        for kernel in SUITE:
+            measured = kernel.program(target).static_instructions
+            paper = TABLE6[kernel.name]
+            assert measured <= 2 * paper, kernel.name
+            assert measured >= paper / 6, kernel.name
+
+    def test_revised_isa_never_larger(self):
+        base = Target.named("extacc[base]")
+        full = Target.named("extacc")
+        for kernel in SUITE:
+            base_size = kernel.program(base).size_bits
+            full_size = kernel.program(full).size_bits
+            assert full_size <= base_size, kernel.name
+
+    def test_shift_extension_shrinks_shift_heavy_kernels(self):
+        base = Target.named("extacc[base]")
+        shift = Target.named("extacc[shift]")
+        for name in ("IntAvg", "XorShift8", "Parity Check"):
+            kernel = get_kernel(name)
+            assert (kernel.program(shift).size_bits
+                    < 0.6 * kernel.program(base).size_bits), name
+
+
+class TestCalculator:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (calculator.OP_ADD, 7, 8, [15, 0]),
+        (calculator.OP_ADD, 9, 9, [2, 1]),
+        (calculator.OP_SUB, 9, 4, [5, 0]),
+        (calculator.OP_SUB, 4, 9, [11, 1]),
+        (calculator.OP_MUL, 3, 5, [15, 0]),
+        (calculator.OP_MUL, 15, 15, [1, 14]),
+        (calculator.OP_MUL, 7, 0, [0, 0]),
+        (calculator.OP_DIV, 13, 4, [3, 1]),
+        (calculator.OP_DIV, 3, 7, [0, 3]),
+        (calculator.OP_DIV, 15, 1, [15, 0]),
+    ])
+    def test_known_transactions(self, op, a, b, expected):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("calculator")
+        _, outputs = kernel.run(target, [op, a, b])
+        assert outputs == expected
+
+    def test_exhaustive_addition(self):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("calculator")
+        inputs = []
+        for a in range(0, 16, 3):
+            for b in range(0, 16, 3):
+                inputs += [calculator.OP_ADD, a, b]
+        result = kernel.check(target, inputs)
+        assert result.reason == "input_exhausted"
+
+    def test_sentinel_remainder_survives_the_mmu(self):
+        """div producing remainder 0xA immediately before the far-jump
+        back must not corrupt the output stream (the protocol-hazard
+        regression that motivated run-based arming)."""
+        target = Target.named("flexicore4")
+        kernel = get_kernel("calculator")
+        inputs = [calculator.OP_DIV, 10, 11,   # q=0, r=10 (= sentinel)
+                  calculator.OP_DIV, 9, 12,
+                  calculator.OP_ADD, 1, 1]
+        _, outputs = kernel.run(target, inputs)
+        assert outputs == kernel.expected(inputs)
+
+    def test_reference_rejects_division_by_zero(self):
+        with pytest.raises(ValueError):
+            calculator.reference([calculator.OP_DIV, 4, 0])
+
+    def test_gen_inputs_op_never_divides_by_zero(self):
+        rng = np.random.default_rng(0)
+        samples = calculator.gen_inputs_op(calculator.OP_DIV, rng, 200)
+        divisors = samples[2::3]
+        assert all(d >= 1 for d in divisors)
+
+
+class TestXorShift:
+    def test_triple_has_full_period(self):
+        x = xorshift.SEED
+        seen = set()
+        for _ in range(255):
+            x = xorshift.next_state(x)
+            assert x != 0
+            seen.add(x)
+        assert len(seen) == 255
+        assert x == xorshift.SEED  # cyclic
+
+    def test_output_stream_is_mmu_safe(self):
+        """No three consecutive sentinel nibbles in the full period --
+        the condition the multi-page base kernel relies on."""
+        x = xorshift.SEED
+        stream = []
+        for _ in range(255):
+            x = xorshift.next_state(x)
+            stream += [x & 0xF, x >> 4]
+        wrapped = stream + stream[:4]
+        for i in range(len(stream)):
+            assert not (wrapped[i] == wrapped[i + 1]
+                        == wrapped[i + 2] == 0xA)
+
+    def test_long_run_on_base_isa(self):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("xorshift8")
+        inputs = [0] * 64
+        result = kernel.check(target, inputs)
+        assert result.stats.page_switches >= 64  # multi-page hot loop
+
+
+class TestFir:
+    def test_saturation_rails(self):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("fir")
+        # Alternating extremes slam the accumulator into both rails.
+        inputs = [7, 8 & 0xF, 7, 9, 7, 8]
+        _, outputs = kernel.run(target, inputs)
+        assert outputs == kernel.expected(inputs)
+
+    def test_impulse_response(self):
+        # x = [1, 0, 0, 0, 0]: y follows the coefficient signs.
+        inputs = [1, 0, 0, 0, 0]
+        expected = fir.reference(inputs)
+        assert expected == [1, 0xF, 1, 0xF, 0]
+
+    @pytest.mark.parametrize("coeffs", [
+        (1, 1, 1, 1),          # low-pass (boxcar)
+        (-1, 1, -1, 1),        # inverted edge detector
+        (1, 1, -1, -1),        # step detector
+    ])
+    @pytest.mark.parametrize("target_name",
+                             ["flexicore4", "extacc", "loadstore"])
+    def test_custom_coefficients(self, coeffs, target_name):
+        kernel = fir.make_kernel(coeffs)
+        target = Target.named(target_name)
+        inputs = [1, 15, 7, 8, 0, 9, 3, 12]
+        result, outputs = kernel.run(target, inputs)
+        assert outputs == kernel.expected(inputs)
+
+    def test_custom_impulse_tracks_coefficients(self):
+        kernel = fir.make_kernel((1, 1, 1, 1))
+        assert kernel.expected([1, 0, 0, 0, 0]) == [1, 1, 1, 1, 0]
+
+    def test_bad_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            fir.make_kernel((2, 1, 1, 1))
+        with pytest.raises(ValueError):
+            fir.make_kernel((1, 1, 1))
+
+
+class TestParity:
+    def test_exhaustive_bytes_reference(self):
+        from repro.isa import bits
+
+        for byte in range(256):
+            got = parity.reference([byte & 0xF, byte >> 4])
+            assert got == [bits.parity(byte)]
+
+    def test_sampled_bytes_on_hardware(self):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("parity")
+        inputs = []
+        for byte in range(0, 256, 17):
+            inputs += [byte & 0xF, byte >> 4]
+        kernel.check(target, inputs)
+
+    def test_odd_input_count_rejected(self):
+        with pytest.raises(ValueError):
+            parity.reference([1])
+
+
+class TestDecisionTree:
+    def test_tree_is_deterministic(self):
+        t1 = decision_tree.generate_tree()
+        t2 = decision_tree.generate_tree()
+        assert decision_tree.classify(t1, [3, 9, 14]) == \
+            decision_tree.classify(t2, [3, 9, 14])
+
+    def test_labels_stay_below_mmu_sentinel(self):
+        def walk(node):
+            if node.is_leaf:
+                assert 0 <= node.label < 8
+                return
+            walk(node.left)
+            walk(node.right)
+
+        walk(decision_tree.generate_tree())
+
+    def test_depth_is_four(self):
+        def depth(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        assert depth(decision_tree.generate_tree()) == 4
+
+    def test_boundary_thresholds(self):
+        target = Target.named("flexicore4")
+        kernel = get_kernel("dectree")
+        # Feature values at 0, 7, 8, 15 stress the unsigned compares.
+        inputs = []
+        for value in (0, 7, 8, 15):
+            inputs += [value, value, value]
+        kernel.check(target, inputs)
+
+
+class TestIntAvg:
+    def test_smoothing_converges_to_constant_input(self):
+        from repro.kernels import intavg
+
+        outputs = intavg.reference([12] * 20)
+        assert outputs[-1] in (11, 12)  # converges up to rounding
+
+    def test_carry_path(self):
+        from repro.kernels import intavg
+
+        # 15 + 15 = 30: the 5-bit intermediate must not be truncated.
+        outputs = intavg.reference([15, 15, 15])
+        assert outputs == [7, 11, 13]
+
+
+class TestThresholding:
+    def test_sticky_behaviour(self):
+        from repro.kernels import thresholding
+
+        outputs = thresholding.reference([1, 11, 2, 3])
+        assert outputs == [0, 1, 1, 1]
+
+    def test_boundary_is_strictly_greater(self):
+        from repro.kernels import thresholding
+
+        assert thresholding.reference([thresholding.THRESHOLD]) == [0]
+        assert thresholding.reference([thresholding.THRESHOLD + 1]) == [1]
+
+
+class TestCheckSuite:
+    def test_all_kernels_on_primary_targets(self):
+        for name in ("flexicore4", "extacc", "loadstore"):
+            results = check_suite(
+                Target.named(name), np.random.default_rng(99),
+                transactions=4,
+            )
+            assert set(results) == set(kernel_names())
+
+    def test_loadstore_requires_implementation(self):
+        from repro.kernels.kernel import Kernel
+
+        kernel = Kernel(
+            name="stub", app_type="Reactive", description="",
+            source_fn=lambda target: "nop",
+            reference_fn=lambda inputs: [],
+            input_fn=lambda rng, n: [],
+        )
+        with pytest.raises(ValueError):
+            kernel.source(Target.named("loadstore"))

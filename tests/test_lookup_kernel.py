@@ -1,0 +1,53 @@
+"""The extra Lookup kernel (POS / Smart Label workload)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import lookup
+from repro.kernels.kernel import Target
+
+
+class TestTable:
+    def test_deterministic(self):
+        assert lookup.generate_table() == lookup.generate_table()
+
+    def test_values_below_mmu_sentinel(self):
+        assert all(0 <= v < 8 for v in lookup.generate_table().values())
+
+    def test_covers_all_keys(self):
+        assert set(lookup.generate_table()) == set(range(16))
+
+
+@pytest.mark.parametrize("target_name", [
+    "flexicore4", "extacc", "flexicore4plus", "loadstore",
+])
+class TestExecution:
+    def test_exhaustive_keys(self, target_name):
+        target = Target.named(target_name)
+        inputs = list(range(16))
+        result = lookup.KERNEL.check(target, inputs)
+        assert result.reason == "input_exhausted"
+
+    def test_random_queries(self, target_name):
+        target = Target.named(target_name)
+        rng = np.random.default_rng(5)
+        inputs = lookup.KERNEL.generate_inputs(rng, 20)
+        lookup.KERNEL.check(target, inputs)
+
+
+class TestCodeShape:
+    def test_flags_extension_shrinks_the_ladder(self):
+        base = lookup.KERNEL.program(Target.named("extacc[base]"))
+        flags = lookup.KERNEL.program(Target.named("extacc[flags]"))
+        assert flags.static_instructions < base.static_instructions
+
+    def test_multi_page_on_base(self):
+        program = lookup.KERNEL.program(Target.named("flexicore4"))
+        assert len(program.pages) >= 2
+
+    def test_mmu_traffic_on_upper_half(self):
+        target = Target.named("flexicore4")
+        # Key 15 lives in page 1: the query must cross pages and return.
+        result, outputs = lookup.KERNEL.run(target, [15, 0])
+        assert outputs == lookup.KERNEL.expected([15, 0])
+        assert result.stats.page_switches >= 2

@@ -1,0 +1,315 @@
+"""Macro library semantics, exhaustively cross-checked on every target.
+
+These are the load-bearing tests of the kernel layer: each virtual
+operation is executed through the simulator for every accumulator value
+(and operand) on the base ISA, the full extended ISA, FlexiCore4+ and a
+minimal-feature target, so one macro expansion bug fails loudly here.
+"""
+
+import pytest
+
+from repro.asm import Assembler, MacroError
+from repro.asm.macro import MacroLibrary, expand
+from repro.asm.parser import parse_source
+from repro.isa import get_isa
+from repro.kernels.macros import T0, T1, build_library
+from repro.sim import run_program
+
+TARGET_NAMES = ("flexicore4", "extacc", "flexicore4plus", "extacc[base]",
+                "extacc[subr]")
+
+
+@pytest.fixture(params=TARGET_NAMES)
+def target(request):
+    isa = get_isa(request.param)
+    return isa, build_library(isa)
+
+
+def run(target, source, inputs=None):
+    isa, library = target
+    program = Assembler(isa, library).assemble(source)
+    result, sink = run_program(program, inputs=inputs, max_cycles=100_000)
+    return sink.values
+
+
+def emit_and_capture(target, setup_lines):
+    source = "\n".join(setup_lines + ["    store 1", "    %halt",
+                                      "    %emit_pool"])
+    return run(target, source)[0]
+
+
+class TestConstantsAndArithmetic:
+    @pytest.mark.parametrize("value", range(16))
+    def test_ldi(self, target, value):
+        assert emit_and_capture(target, [f"    %ldi {value}"]) == value
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_not(self, target, value):
+        got = emit_and_capture(
+            target, [f"    %ldi {value}", "    %not"]
+        )
+        assert got == (~value) & 0xF
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_negate(self, target, value):
+        got = emit_and_capture(
+            target, [f"    %ldi {value}", "    %negate"]
+        )
+        assert got == (-value) & 0xF
+
+    @pytest.mark.parametrize("acc,sub", [(a, s) for a in (0, 1, 7, 8, 15)
+                                         for s in (0, 1, 8, 15)])
+    def test_subi(self, target, acc, sub):
+        got = emit_and_capture(
+            target, [f"    %ldi {acc}", f"    %subi {sub}"]
+        )
+        assert got == (acc - sub) & 0xF
+
+    @pytest.mark.parametrize("acc,mem", [(a, m) for a in (0, 3, 8, 15)
+                                         for m in (0, 5, 8, 15)])
+    def test_sub_m(self, target, acc, mem):
+        got = emit_and_capture(target, [
+            f"    %ldi {mem}", "    store 2",
+            f"    %ldi {acc}", "    %sub_m 2",
+        ])
+        assert got == (acc - mem) & 0xF
+
+    def test_inc_dec(self, target):
+        source = """
+    %ldi 14
+    store 2
+    %inc 2
+    load 2
+    store 1
+    %dec 2
+    %dec 2
+    load 2
+    store 1
+    %halt
+"""
+        assert run(target, source) == [15, 13]
+
+
+class TestShifts:
+    @pytest.mark.parametrize("value", range(16))
+    def test_lsr1(self, target, value):
+        got = emit_and_capture(
+            target, [f"    %ldi {value}", "    %lsr1"]
+        )
+        assert got == value >> 1
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_asr1(self, target, value):
+        got = emit_and_capture(
+            target, [f"    %ldi {value}", "    %asr1"]
+        )
+        signed = value - 16 if value & 8 else value
+        assert got == (signed >> 1) & 0xF
+
+    @pytest.mark.parametrize("amount", [0, 1, 2, 3])
+    def test_lsr_n(self, target, amount):
+        got = emit_and_capture(
+            target, ["    %ldi 13", f"    %lsr {amount}"]
+        )
+        assert got == 13 >> amount
+
+    def test_lsl1(self, target):
+        got = emit_and_capture(target, ["    %ldi 9", "    %lsl1"])
+        assert got == (9 << 1) & 0xF
+
+    def test_lsr_rejects_bad_amount(self, target):
+        isa, library = target
+        with pytest.raises(MacroError):
+            Assembler(isa, library).assemble("%lsr 4\n%halt\n%emit_pool")
+
+
+class TestBranches:
+    def _branch_result(self, target, setup, macro_line):
+        source = "\n".join(setup + [
+            f"    {macro_line}",
+            "    %ldi 0",
+            "    store 1",
+            "    %halt",
+            "yes:",
+            "    %ldi 1",
+            "    store 1",
+            "    %halt",
+            "    %emit_pool",
+        ])
+        return run(target, source)[0]
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_brz(self, target, value):
+        got = self._branch_result(
+            target, [f"    %ldi {value}"], "%brz yes"
+        )
+        assert got == (1 if value == 0 else 0)
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_brnz(self, target, value):
+        got = self._branch_result(
+            target, [f"    %ldi {value}"], "%brnz yes"
+        )
+        assert got == (1 if value != 0 else 0)
+
+    @pytest.mark.parametrize("value,threshold",
+                             [(v, t) for v in range(16)
+                              for t in (0, 1, 5, 8, 9, 15)])
+    def test_bltu_i(self, target, value, threshold):
+        got = self._branch_result(
+            target, [f"    %ldi {value}"], f"%bltu_i {threshold}, yes"
+        )
+        assert got == (1 if value < threshold else 0)
+
+    @pytest.mark.parametrize("value,threshold",
+                             [(v, t) for v in range(16)
+                              for t in (0, 1, 8, 11, 15)])
+    def test_bgeu_i(self, target, value, threshold):
+        got = self._branch_result(
+            target, [f"    %ldi {value}"], f"%bgeu_i {threshold}, yes"
+        )
+        assert got == (1 if value >= threshold else 0)
+
+    @pytest.mark.parametrize("value,mem",
+                             [(v, m) for v in (0, 2, 7, 8, 9, 15)
+                              for m in (0, 2, 7, 8, 9, 15)])
+    def test_bltu_m_and_bgeu_m(self, target, value, mem):
+        setup = [f"    %ldi {mem}", "    store 2", f"    %ldi {value}"]
+        got = self._branch_result(target, setup, "%bltu_m 2, yes")
+        assert got == (1 if value < mem else 0)
+        got = self._branch_result(target, setup, "%bgeu_m 2, yes")
+        assert got == (1 if value >= mem else 0)
+
+    @pytest.mark.parametrize("value", range(16))
+    def test_jump_keep_preserves_accumulator(self, target, value):
+        """Listing 2: the unconditional branch that costs 3-4
+        instructions but keeps the accumulator intact on both paths."""
+        source = f"""
+    %ldi {value}
+    %jump_keep over
+    %ldi 9
+    store 1
+    %halt
+    %landing over
+    store 1
+    %halt
+"""
+        assert run(target, source) == [value]
+
+    def test_jump(self, target):
+        source = """
+    %jump over
+    %ldi 9
+    store 1
+    %halt
+over:
+    %ldi 4
+    store 1
+    %halt
+"""
+        assert run(target, source) == [4]
+
+
+class TestMultiPrecision:
+    @pytest.mark.parametrize("lo,hi,addend", [
+        (0, 0, 0), (15, 0, 1), (15, 15, 15), (8, 3, 9), (7, 2, 8),
+    ])
+    def test_add2w(self, target, lo, hi, addend):
+        source = f"""
+    %ldi {lo}
+    store 2
+    %ldi {hi}
+    store 3
+    %ldi {addend}
+    store 4
+    %add2w 2, 3, 4
+    load 2
+    store 1
+    load 3
+    store 1
+    %halt
+    %emit_pool
+"""
+        total = (hi << 4 | lo) + addend
+        assert run(target, source) == [total & 0xF, (total >> 4) & 0xF]
+
+
+class TestSaturatingOps:
+    @pytest.mark.parametrize("a,b", [(a, b) for a in range(-8, 8, 3)
+                                     for b in range(-8, 8, 3)])
+    def test_satadd_satsub(self, target, a, b):
+        def sat(x):
+            return max(-8, min(7, x))
+
+        source = f"""
+    %ldi {b & 0xF}
+    store 2
+    %ldi {a & 0xF}
+    %satadd_m 2
+    store 1
+    %ldi {a & 0xF}
+    %satsub_m 2
+    store 1
+    %halt
+    %emit_pool
+"""
+        assert run(target, source) == [sat(a + b) & 0xF, sat(a - b) & 0xF]
+
+
+class TestSubroutinePool:
+    def test_pool_shares_one_body(self):
+        isa = get_isa("extacc[subr]")
+        library = build_library(isa)
+        source = """
+    %ldi 12
+    %lsr1
+    %lsr1
+    store 1
+    %halt
+    %emit_pool
+"""
+        program = Assembler(isa, library).assemble(source)
+        # Two %lsr1 calls share one pooled body: far fewer instructions
+        # than two inline ~30-instruction expansions.
+        assert program.static_instructions < 60
+        result, sink = run_program(program)
+        assert sink.values == [3]
+
+    def test_missing_emit_pool_fails_loudly(self):
+        isa = get_isa("extacc[subr]")
+        library = build_library(isa)
+        with pytest.raises(Exception):
+            Assembler(isa, library).assemble("%lsr1\n%halt\n")
+
+
+class TestMacroMachinery:
+    def test_unknown_macro(self):
+        isa = get_isa("flexicore4")
+        with pytest.raises(MacroError):
+            Assembler(isa, build_library(isa)).assemble("%warp 1\n")
+
+    def test_parent_library_lookup(self):
+        parent = MacroLibrary("parent")
+        parent.define("one", lambda ctx: ["addi 1"])
+        child = MacroLibrary("child", parent=parent)
+        assert "one" in child
+        assert child.lookup("one") is not None
+        assert "one" in child.names()
+
+    def test_recursion_guard(self):
+        isa = get_isa("flexicore4")
+        library = MacroLibrary("loop")
+        library.define("rec", lambda ctx: ["%rec"])
+        statements = parse_source("%rec\n")
+        from repro.asm.macro import ExpansionContext
+
+        with pytest.raises(MacroError):
+            expand(statements, library, ExpansionContext(isa))
+
+    def test_farjump_rejects_sentinel_page(self):
+        isa = get_isa("flexicore4")
+        library = build_library(isa)
+        with pytest.raises(MacroError):
+            Assembler(isa, library).assemble(
+                "t: %farjump 10, t\n"
+            )

@@ -1,0 +1,182 @@
+"""MMU page-switch transducer protocol tests (Section 5.1)."""
+
+import pytest
+
+from repro.sim.mmu import ARM_COUNT, Mmu, PAGE_SWITCH_DELAY
+
+
+def make_mmu(**kwargs):
+    sink = []
+    mmu = Mmu(**kwargs).attach(sink.append)
+    return mmu, sink
+
+
+class TestArming:
+    def test_sentinel_value_by_port_width(self):
+        assert Mmu(port_width=4).sentinel == 0xA
+        assert Mmu(port_width=8).sentinel == 0xAA
+
+    def test_three_sentinels_arm(self):
+        mmu, _ = make_mmu()
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        assert mmu.armed
+
+    def test_two_sentinels_do_not_arm(self):
+        mmu, _ = make_mmu()
+        mmu.observe_output(0xA)
+        mmu.observe_output(0xA)
+        assert not mmu.armed
+
+    def test_extra_sentinels_keep_armed(self):
+        mmu, _ = make_mmu()
+        for _ in range(ARM_COUNT + 3):
+            mmu.observe_output(0xA)
+        assert mmu.armed
+
+    def test_page_write_after_arming(self):
+        mmu, _ = make_mmu()
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(2)
+        assert mmu.page_switches == 1
+        # The page takes effect only after the delay shadow.
+        assert mmu.page == 0
+
+
+class TestDataForwarding:
+    def test_plain_data_forwards(self):
+        mmu, sink = make_mmu()
+        for value in (1, 2, 3):
+            mmu.observe_output(value)
+        assert sink == [1, 2, 3]
+
+    def test_short_sentinel_run_forwards_as_data(self):
+        mmu, sink = make_mmu()
+        mmu.observe_output(0xA)
+        mmu.observe_output(0xA)
+        mmu.observe_output(5)  # breaks the run: all three were data
+        assert sink == [0xA, 0xA, 5]
+
+    def test_escape_sequence_is_consumed(self):
+        mmu, sink = make_mmu()
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(1)  # page number
+        assert sink == []
+
+    def test_leading_data_sentinel_is_recovered(self):
+        """A data 0xA directly before a real escape must still reach the
+        peripheral (the Calculator remainder=10 case)."""
+        mmu, sink = make_mmu()
+        mmu.observe_output(0xA)            # data
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)        # escape
+        mmu.observe_output(2)              # page
+        assert sink == [0xA]
+        assert mmu.page_switches == 1
+
+    def test_two_leading_data_sentinels_recovered(self):
+        mmu, sink = make_mmu()
+        for _ in range(2 + ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(0)
+        assert sink == [0xA, 0xA]
+
+    def test_forward_escapes_mode(self):
+        mmu, sink = make_mmu(forward_escapes=True)
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(3)
+        assert sink == [0xA] * ARM_COUNT + [3]
+        assert mmu.page_switches == 1
+
+
+class TestPageSwitchTiming:
+    def test_delay_shadow_fetches_old_page(self):
+        mmu, _ = make_mmu()
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(5)
+        # The next PAGE_SWITCH_DELAY fetches still use the old page.
+        for _ in range(PAGE_SWITCH_DELAY):
+            assert mmu.on_fetch() == 0
+        assert mmu.on_fetch() == 5
+        assert mmu.page == 5
+
+    def test_fetches_without_pending_switch(self):
+        mmu, _ = make_mmu()
+        assert mmu.on_fetch() == 0
+        assert mmu.on_fetch() == 0
+
+    def test_reset(self):
+        mmu, _ = make_mmu()
+        for _ in range(ARM_COUNT):
+            mmu.observe_output(0xA)
+        mmu.observe_output(7)
+        mmu.reset()
+        assert mmu.page == 0
+        assert not mmu.armed
+        assert mmu.on_fetch() == 0
+
+    def test_consecutive_switches(self):
+        mmu, _ = make_mmu()
+        for page in (1, 2, 3):
+            for _ in range(ARM_COUNT):
+                mmu.observe_output(0xA)
+            mmu.observe_output(page)
+            for _ in range(PAGE_SWITCH_DELAY + 1):
+                mmu.on_fetch()
+            assert mmu.page == page
+        assert mmu.page_switches == 3
+
+
+class TestEndToEnd:
+    def test_farjump_through_simulator(self):
+        """A program that far-jumps to page 1 and emits a marker there."""
+        from repro.asm import Assembler
+        from repro.isa import get_isa
+        from repro.kernels.macros import build_library
+        from repro.sim import run_program
+
+        isa = get_isa("flexicore4")
+        source = """
+    %ldi 5
+    store 1
+    %farjump 1, there
+.page 1
+there:
+    %ldi 7
+    store 1
+    %halt
+"""
+        program = Assembler(isa, build_library(isa)).assemble(source)
+        result, sink = run_program(program)
+        assert sink.values == [5, 7]
+        assert result.stats.page_switches == 1
+
+    def test_round_trip_between_pages(self):
+        from repro.asm import Assembler
+        from repro.isa import get_isa
+        from repro.kernels.macros import build_library
+        from repro.sim import run_program
+
+        isa = get_isa("flexicore4")
+        source = """
+    %ldi 1
+    store 1
+    %farjump 1, mid
+back:
+    %ldi 3
+    store 1
+    %halt
+.page 1
+mid:
+    %ldi 2
+    store 1
+    %farjump 0, back
+"""
+        program = Assembler(isa, build_library(isa)).assemble(source)
+        result, sink = run_program(program)
+        assert sink.values == [1, 2, 3]
+        assert result.stats.page_switches == 2

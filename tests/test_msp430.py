@@ -1,0 +1,45 @@
+"""Section 3.5 openMSP430 comparison."""
+
+import pytest
+
+from repro.netlist.msp430 import (
+    MSP430_CELL_MIX,
+    estimate_msp430,
+    section35_comparison,
+)
+
+
+class TestEstimate:
+    def test_uses_only_library_cells(self):
+        from repro.tech.cells import LIBRARY
+
+        assert set(MSP430_CELL_MIX) <= set(LIBRARY)
+
+    def test_order_of_magnitude(self):
+        estimate = estimate_msp430()
+        # Paper: 170 mm^2 synthesized in 0.8 um IGZO.
+        assert 80 < estimate.area_mm2 < 260
+        assert estimate.gate_count > 5000
+
+    def test_power_scales_with_voltage(self):
+        assert estimate_msp430(vdd=3.0).static_power_mw < \
+            estimate_msp430(vdd=4.5).static_power_mw
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return section35_comparison()
+
+    def test_area_ratio_near_30x(self, comparison):
+        assert 20 < comparison["area_ratio"] < 45
+
+    def test_power_ratio_order_of_magnitude(self, comparison):
+        # Paper: 23x.  Our power model tracks area, so the ratio lands
+        # near the area ratio; the claim being reproduced is
+        # "more than an order of magnitude".
+        assert comparison["power_ratio"] > 10
+
+    def test_flexicore_side_is_consistent(self, comparison):
+        assert comparison["fc4_area_mm2"] < 6.0
+        assert comparison["fc4_static_mw"] < 10.0

@@ -1,0 +1,222 @@
+"""Sequence-level fuzzing against independent oracle interpreters.
+
+Per-instruction semantics are covered elsewhere; here a second,
+deliberately simple Python interpreter executes random *sequences* of
+straight-line instructions and must agree with the real decoder +
+simulator on the final architectural state.  This catches state-coupling
+bugs (carry staleness, memory aliasing, immediate extension) that
+single-instruction tests cannot.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.isa import bits, get_isa
+from repro.sim import Simulator
+
+EXT = get_isa("extacc")
+LS = get_isa("loadstore")
+
+# -- extended-accumulator oracle -----------------------------------------
+
+EXT_OPS = st.one_of(
+    st.tuples(st.just("addi"), st.integers(0, 15)),
+    st.tuples(st.just("nandi"), st.integers(0, 15)),
+    st.tuples(st.just("xori"), st.integers(0, 15)),
+    st.tuples(st.just("andi"), st.integers(0, 15)),
+    st.tuples(st.just("ori"), st.integers(0, 15)),
+    st.tuples(st.just("adci"), st.integers(0, 15)),
+    st.tuples(st.just("add"), st.integers(2, 7)),
+    st.tuples(st.just("adc"), st.integers(2, 7)),
+    st.tuples(st.just("sub"), st.integers(2, 7)),
+    st.tuples(st.just("swb"), st.integers(2, 7)),
+    st.tuples(st.just("and"), st.integers(2, 7)),
+    st.tuples(st.just("or"), st.integers(2, 7)),
+    st.tuples(st.just("xor"), st.integers(2, 7)),
+    st.tuples(st.just("nand"), st.integers(2, 7)),
+    st.tuples(st.just("load"), st.integers(2, 7)),
+    st.tuples(st.just("store"), st.integers(2, 7)),
+    st.tuples(st.just("xch"), st.integers(2, 7)),
+    st.tuples(st.just("lsri"), st.integers(1, 3)),
+    st.tuples(st.just("asri"), st.integers(1, 3)),
+    st.tuples(st.just("neg"), st.none()),
+)
+
+
+def ext_oracle(sequence):
+    """Independent interpretation of a straight-line extacc sequence."""
+    acc, carry = 0, 0
+    mem = [0] * 8
+
+    def add(a, b, c):
+        total = a + b + c
+        return total & 0xF, total >> 4
+
+    for mnemonic, operand in sequence:
+        if mnemonic == "addi":
+            acc, carry = add(acc, operand, 0)
+        elif mnemonic == "adci":
+            acc, carry = add(acc, operand, carry)
+        elif mnemonic == "nandi":
+            acc = ~(acc & operand) & 0xF
+        elif mnemonic == "xori":
+            acc ^= operand
+        elif mnemonic == "andi":
+            acc &= operand
+        elif mnemonic == "ori":
+            acc |= operand
+        elif mnemonic == "add":
+            acc, carry = add(acc, mem[operand], 0)
+        elif mnemonic == "adc":
+            acc, carry = add(acc, mem[operand], carry)
+        elif mnemonic == "sub":
+            total = acc - mem[operand]
+            acc, carry = total & 0xF, (1 if total >= 0 else 0)
+        elif mnemonic == "swb":
+            total = acc - mem[operand] - (1 - carry)
+            acc, carry = total & 0xF, (1 if total >= 0 else 0)
+        elif mnemonic == "and":
+            acc &= mem[operand]
+        elif mnemonic == "or":
+            acc |= mem[operand]
+        elif mnemonic == "xor":
+            acc ^= mem[operand]
+        elif mnemonic == "nand":
+            acc = ~(acc & mem[operand]) & 0xF
+        elif mnemonic == "load":
+            acc = mem[operand]
+        elif mnemonic == "store":
+            mem[operand] = acc
+        elif mnemonic == "xch":
+            acc, mem[operand] = mem[operand], acc
+        elif mnemonic == "lsri":
+            acc >>= operand
+        elif mnemonic == "asri":
+            acc = (bits.sign_extend(acc, 4) >> operand) & 0xF
+        elif mnemonic == "neg":
+            acc = (-acc) & 0xF
+    return acc, carry, mem
+
+
+class TestExtAccOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(EXT_OPS, min_size=1, max_size=25))
+    def test_sequences_agree(self, sequence):
+        source = "\n".join(
+            mnemonic if operand is None else f"{mnemonic} {operand}"
+            for mnemonic, operand in sequence
+        ) + "\nhalt\n"
+        program = assemble(source, EXT)
+        simulator = Simulator(EXT, program)
+        simulator.run(max_cycles=1000)
+        acc, carry, mem = ext_oracle(sequence)
+        state = simulator.state
+        assert state.acc == acc
+        assert state.carry == carry
+        # Words 2..7 must match; 0/1 are IO-mapped and excluded.
+        assert list(state.mem[2:]) == mem[2:]
+
+
+# -- load-store oracle ------------------------------------------------------
+
+LS_OPS = st.one_of(
+    st.tuples(st.just("movi"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("addi"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("adci"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("andi"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("ori"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("xori"), st.integers(1, 7), st.integers(0, 255)),
+    st.tuples(st.just("add"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("adc"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("sub"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("swb"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("and"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("or"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("xor"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("mov"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("xch"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("mull"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("mulh"), st.integers(1, 7), st.integers(1, 7)),
+    st.tuples(st.just("lsri"), st.integers(1, 7), st.integers(1, 3)),
+    st.tuples(st.just("asri"), st.integers(1, 7), st.integers(1, 3)),
+    st.tuples(st.just("neg"), st.integers(1, 7), st.none()),
+)
+
+
+def ls_oracle(sequence):
+    regs = [0] * 8
+    carry = 0
+
+    def add(a, b, c):
+        total = a + b + c
+        return total & 0xF, total >> 4
+
+    for mnemonic, rd, operand in sequence:
+        rs_value = regs[operand] if isinstance(operand, int) \
+            and mnemonic in ("add", "adc", "sub", "swb", "and", "or",
+                             "xor", "mov", "xch", "mull", "mulh") else None
+        if mnemonic == "movi":
+            regs[rd] = operand & 0xF
+        elif mnemonic == "addi":
+            regs[rd], carry = add(regs[rd], operand & 0xF, 0)
+        elif mnemonic == "adci":
+            regs[rd], carry = add(regs[rd], operand & 0xF, carry)
+        elif mnemonic == "andi":
+            regs[rd] &= operand & 0xF
+        elif mnemonic == "ori":
+            regs[rd] |= operand & 0xF
+        elif mnemonic == "xori":
+            regs[rd] ^= operand & 0xF
+        elif mnemonic == "add":
+            regs[rd], carry = add(regs[rd], rs_value, 0)
+        elif mnemonic == "adc":
+            regs[rd], carry = add(regs[rd], rs_value, carry)
+        elif mnemonic == "sub":
+            total = regs[rd] - rs_value
+            regs[rd], carry = total & 0xF, (1 if total >= 0 else 0)
+        elif mnemonic == "swb":
+            total = regs[rd] - rs_value - (1 - carry)
+            regs[rd], carry = total & 0xF, (1 if total >= 0 else 0)
+        elif mnemonic == "and":
+            regs[rd] &= rs_value
+        elif mnemonic == "or":
+            regs[rd] |= rs_value
+        elif mnemonic == "xor":
+            regs[rd] ^= rs_value
+        elif mnemonic == "mov":
+            regs[rd] = rs_value
+        elif mnemonic == "xch":
+            regs[rd], regs[operand] = regs[operand], regs[rd]
+        elif mnemonic == "mull":
+            regs[rd] = (regs[rd] * rs_value) & 0xF
+        elif mnemonic == "mulh":
+            regs[rd] = (regs[rd] * rs_value) >> 4
+        elif mnemonic == "lsri":
+            regs[rd] >>= operand
+        elif mnemonic == "asri":
+            regs[rd] = (bits.sign_extend(regs[rd], 4) >> operand) & 0xF
+        elif mnemonic == "neg":
+            regs[rd] = (-regs[rd]) & 0xF
+    return regs, carry
+
+
+class TestLoadStoreOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(LS_OPS, min_size=1, max_size=25))
+    def test_sequences_agree(self, sequence):
+        def render(mnemonic, rd, operand):
+            if operand is None:
+                return f"{mnemonic} r{rd}"
+            if mnemonic in ("movi", "addi", "adci", "andi", "ori",
+                            "xori", "lsri", "asri"):
+                return f"{mnemonic} r{rd}, {operand}"
+            return f"{mnemonic} r{rd}, r{operand}"
+
+        source = "\n".join(render(*op) for op in sequence) + "\nhalt\n"
+        program = assemble(source, LS)
+        simulator = Simulator(LS, program)
+        simulator.run(max_cycles=1000)
+        regs, carry = ls_oracle(sequence)
+        assert list(simulator.state.mem) == regs
+        assert simulator.state.carry == carry

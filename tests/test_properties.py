@@ -1,0 +1,160 @@
+"""Cross-model property tests: the strongest consistency checks.
+
+Random well-formed programs are pushed through multiple independent
+implementations of the same contract and must agree:
+
+- assembler -> image -> disassembler -> reassembler is a fixed point;
+- the gate-level FlexiCore4 netlist matches the ISA simulator
+  instruction for instruction (the Section 4.1 methodology, fuzzed);
+- macro expansions on feature-rich ISAs match the base ISA's results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import Assembler, assemble, disassemble
+from repro.isa import get_isa
+from repro.kernels.macros import build_library
+from repro.sim import run_program
+
+FC4 = get_isa("flexicore4")
+
+
+def random_fc4_source(rng, length):
+    lines = []
+    for _ in range(length):
+        choice = int(rng.integers(0, 9))
+        value = int(rng.integers(0, 16))
+        addr = int(rng.integers(0, 8))
+        target = int(rng.integers(0, length))
+        lines.append([
+            f"addi {value}", f"nandi {value}", f"xori {value}",
+            f"add {addr}", f"nand {addr}", f"xor {addr}",
+            f"load {addr}", f"store {addr}", f"brn {target}",
+        ][choice])
+    return "\n".join(lines)
+
+
+class TestAssemblerFixpoint:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_disassemble_reassemble(self, seed):
+        rng = np.random.default_rng(seed)
+        source = random_fc4_source(rng, 60)
+        program = assemble(source, FC4)
+        image = program.image()[:program.size_bytes]
+        lines = disassemble(image, FC4)
+        round_tripped = assemble(
+            "\n".join(line.text for line in lines), FC4
+        )
+        assert round_tripped.image()[:program.size_bytes] == image
+
+
+class TestGateVsIsaFuzz:
+    @pytest.fixture(scope="class")
+    def netlist(self):
+        from repro.netlist import build_flexicore4
+
+        return build_flexicore4()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_program_agreement(self, netlist, seed):
+        from repro.fab.testing import random_program
+        from repro.netlist.verify import run_cross_check
+
+        rng = np.random.default_rng(100 + seed)
+        program = random_program(FC4, rng, length=64)
+        inputs = [int(rng.integers(0, 16)) for _ in range(96)]
+        result = run_cross_check(
+            netlist, FC4, program, inputs=inputs, max_instructions=200,
+        )
+        assert result.passed, result.first_mismatch
+
+
+class TestMacroEquivalenceAcrossTargets:
+    """The same macro program must produce identical outputs on every
+    accumulator target, despite wildly different expansions."""
+
+    SOURCE = """
+    load 0
+    store 2
+    load 0
+    %satadd_m 2
+    store 1
+    load 2
+    %lsr1
+    store 1
+    %bltu_i 9, low
+    %ldi 1
+    store 1
+    %halt
+low:
+    %ldi 0
+    store 1
+    %halt
+    %emit_pool
+"""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_targets_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        inputs = [int(rng.integers(0, 16)) for _ in range(2)]
+        outputs = {}
+        for name in ("flexicore4", "extacc", "flexicore4plus",
+                     "extacc[subr]", "extacc[adc+shift]"):
+            isa = get_isa(name)
+            program = Assembler(isa, build_library(isa)).assemble(
+                self.SOURCE
+            )
+            _, sink = run_program(program, inputs=list(inputs),
+                                  max_cycles=50_000)
+            outputs[name] = sink.values
+        reference = outputs.pop("flexicore4")
+        for name, values in outputs.items():
+            assert values == reference, (name, inputs)
+
+
+class TestEncodingUniqueness:
+    @pytest.mark.parametrize("isa_name", [
+        "flexicore4", "flexicore8", "extacc", "loadstore",
+    ])
+    def test_no_two_instructions_share_an_encoding(self, isa_name):
+        isa = get_isa(isa_name)
+        seen = {}
+        for mnemonic in isa.mnemonics():
+            spec = isa.spec(mnemonic)
+            operands = tuple(
+                max(op.lo, 1) if op.kind.name != "TARGET" else 2
+                for op in spec.operands
+            )
+            encoded = bytes(spec.encode(operands))
+            assert encoded not in seen, (
+                f"{mnemonic} and {seen.get(encoded)} share {encoded.hex()}"
+            )
+            seen[encoded] = mnemonic
+
+
+class TestStateInvariants:
+    @given(st.integers(0, 255), st.integers(1, 16))
+    def test_acc_always_in_range(self, value, steps):
+        state = FC4.new_state()
+        state.set_acc(value)
+        assert 0 <= state.acc <= 15
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=30))
+    def test_simulated_state_stays_in_range(self, raw):
+        """Whatever bytes we execute (of the decodable subset), the
+        architectural state stays within its declared widths."""
+        from repro.isa.errors import DecodeError
+
+        state = FC4.new_state()
+        for byte in raw:
+            try:
+                decoded = FC4.decode(bytes([byte]))
+            except DecodeError:
+                continue
+            FC4.execute(state, decoded)
+            assert 0 <= state.acc <= 15
+            assert 0 <= state.pc <= 127
+            assert all(0 <= word <= 15 for word in state.mem)

@@ -1,0 +1,175 @@
+"""Functional simulator: halting, statistics, IO and peripherals."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import get_isa
+from repro.sim import (
+    HeldInput,
+    InputExhausted,
+    InputStream,
+    OutputSink,
+    ProgramMemory,
+    SimulationError,
+    Simulator,
+    run_program,
+)
+
+FC4 = get_isa("flexicore4")
+EXT = get_isa("extacc")
+
+
+class TestHalting:
+    def test_halt_instruction(self):
+        program = assemble("addi 1\nhalt\n", EXT)
+        result, _ = run_program(program)
+        assert result.halted and result.reason == "halt"
+        assert result.instructions == 2
+
+    def test_self_branch_is_halt(self):
+        program = assemble("nandi 0\nstop: brn stop\n", FC4)
+        result, _ = run_program(program)
+        assert result.halted and result.reason == "self_branch"
+
+    def test_self_branch_detection_can_be_disabled(self):
+        program = assemble("nandi 0\nstop: brn stop\n", FC4)
+        simulator = Simulator(FC4, program, halt_on_self_branch=False)
+        result = simulator.run(max_cycles=50)
+        assert result.reason == "max_cycles"
+        assert result.instructions == 50
+
+    def test_input_exhaustion(self):
+        program = assemble(
+            "loop: load 0\nstore 1\nnandi 0\nbrn loop\n", FC4
+        )
+        result, sink = run_program(program, inputs=[1, 2])
+        assert result.reason == "input_exhausted"
+        assert sink.values == [1, 2]
+
+    def test_max_cycles(self):
+        program = assemble("loop: addi 1\nnandi 0\nbrn loop\n", FC4)
+        result, _ = run_program(program, max_cycles=100)
+        assert result.reason == "max_cycles"
+        assert result.instructions == 100
+
+
+class TestStatistics:
+    def test_class_and_mnemonic_counts(self):
+        program = assemble("addi 1\nload 2\nstore 1\nnandi 0\nbrn 0\n",
+                           FC4)
+        simulator = Simulator(FC4, program)
+        for _ in range(5):
+            simulator.step()
+        stats = simulator.stats
+        assert stats.instructions == 5
+        assert stats.by_mnemonic["addi"] == 1
+        assert stats.by_class["memory"] == 2
+        assert stats.by_class["branch"] == 1
+        assert stats.taken_branches == 1
+
+    def test_fetched_bytes_counts_multibyte(self):
+        program = assemble("br nzp, 2\nhalt\n", EXT)
+        result, _ = run_program(program)
+        assert result.stats.fetched_bytes == 3  # 2-byte br + 1-byte halt
+        assert result.stats.by_size == {2: 1, 1: 1}
+
+    def test_branch_fraction(self):
+        program = assemble("addi 1\nnandi 0\nbrn x\nx: halt\n", EXT)
+        result, _ = run_program(program)
+        assert result.stats.branch_fraction == pytest.approx(1 / 4)
+
+    def test_untaken_branch_not_counted_taken(self):
+        program = assemble("xori 0\nbrn 5\nhalt\n", EXT)
+        result, _ = run_program(program)
+        assert result.stats.taken_branches == 0
+
+
+class TestIo:
+    def test_output_sink_records_cycles(self):
+        program = assemble("addi 3\nstore 1\naddi 1\nstore 1\nhalt\n",
+                           EXT)
+        result, sink = run_program(program)
+        assert sink.values == [3, 4]
+        assert sink.cycles == [1, 3]  # instruction indices of the stores
+
+    def test_held_input(self):
+        held = HeldInput(9)
+        program = assemble("load 0\nstore 1\nload 0\nstore 1\nhalt\n",
+                           EXT)
+        sink = OutputSink()
+        simulator = Simulator(EXT, program, input_fn=held, output=sink)
+        simulator.run()
+        assert sink.values == [9, 9]
+        assert held.reads == 2
+
+    def test_input_stream_hold_mode(self):
+        stream = InputStream([4], on_exhausted="hold")
+        assert stream() == 4
+        assert stream() == 4
+
+    def test_input_stream_zero_mode(self):
+        stream = InputStream([4], on_exhausted="zero")
+        stream()
+        assert stream() == 0
+
+    def test_input_stream_raise_mode(self):
+        stream = InputStream([], on_exhausted="raise")
+        with pytest.raises(InputExhausted):
+            stream()
+
+    def test_input_stream_bad_mode(self):
+        with pytest.raises(ValueError):
+            InputStream([], on_exhausted="explode")
+
+    def test_sink_as_bytes(self):
+        sink = OutputSink()
+        for value in (0x1, 0x2, 0xF, 0x0):
+            sink.write(value)
+        assert sink.as_bytes(width=4) == [0x21, 0x0F]
+
+    def test_sink_as_bytes_odd_count(self):
+        sink = OutputSink()
+        sink.write(1)
+        with pytest.raises(ValueError):
+            sink.as_bytes()
+
+
+class TestProgramMemory:
+    def test_mmu_attached_automatically_for_multipage(self):
+        source = "addi 1\n.page 1\naddi 2\n"
+        program = assemble(source, FC4)
+        simulator = Simulator(FC4, program)
+        assert simulator.mmu is not None
+
+    def test_no_mmu_for_single_page(self):
+        program = assemble("addi 1\n", FC4)
+        simulator = Simulator(FC4, program)
+        assert simulator.mmu is None
+
+    def test_oversized_image_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramMemory(bytes(17 * 128))
+
+    def test_fetch_wraps_within_page(self):
+        memory = ProgramMemory(bytes(range(64)) + bytes(64))
+        base, window = memory.fetch_window(127)
+        assert base == 127
+        assert window[1] == 0  # wrapped to page-local address 0
+
+    def test_reset_clears_everything(self):
+        program = assemble("load 0\nstore 1\nhalt\n", EXT)
+        simulator = Simulator(EXT, program,
+                              input_fn=InputStream([5], "hold"))
+        simulator.run()
+        simulator.reset()
+        assert simulator.state.pc == 0
+        assert simulator.stats.instructions == 0
+        assert not simulator.state.halted
+
+
+class TestErrors:
+    def test_decode_fault_raises_simulation_error(self):
+        # 0x38 is an undefined FlexiCore4 M-type hole.
+        simulator = Simulator(FC4, bytes([0b0011_1000]))
+        with pytest.raises(SimulationError):
+            simulator.step()

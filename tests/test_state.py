@@ -1,0 +1,103 @@
+"""CoreState unit tests: the architectural-state contract."""
+
+import pytest
+
+from repro.isa.state import IPORT_ADDR, OPORT_ADDR, CoreState
+
+
+class TestBasics:
+    def test_power_on_state(self):
+        state = CoreState()
+        assert state.acc == 0 and state.pc == 0 and state.carry == 0
+        assert state.mem == [0] * 8
+        assert not state.halted
+
+    def test_masks(self):
+        state = CoreState(width=4)
+        assert state.word_mask == 0xF
+        assert state.pc_mask == 0x7F
+        assert CoreState(width=8).word_mask == 0xFF
+
+    def test_set_acc_truncates(self):
+        state = CoreState(width=4)
+        state.set_acc(0x1F)
+        assert state.acc == 0xF
+
+    def test_predicates(self):
+        state = CoreState(width=4)
+        state.set_acc(0x8)
+        assert state.acc_negative() and not state.acc_zero()
+        state.set_acc(0)
+        assert state.acc_zero() and not state.acc_negative()
+
+    def test_pc_advance_wraps(self):
+        state = CoreState()
+        state.pc = 127
+        state.advance_pc(2)
+        assert state.pc == 1
+
+    def test_branch_masks_target(self):
+        state = CoreState()
+        state.branch_to(0xFF)
+        assert state.pc == 0x7F
+
+
+class TestMemoryMappedIo:
+    def test_read_addr0_samples_input(self):
+        state = CoreState()
+        state.input_fn = lambda: 0x1B  # over-wide: masked to 4 bits
+        assert state.read_mem(IPORT_ADDR) == 0xB
+        assert state.io_reads == 1
+
+    def test_write_addr1_drives_output(self):
+        state = CoreState()
+        seen = []
+        state.output_fn = seen.append
+        state.write_mem(OPORT_ADDR, 0x9)
+        assert seen == [9]
+        assert state.mem[1] == 9  # readable back
+
+    def test_write_addr0_is_not_readable(self):
+        state = CoreState()
+        state.input_fn = lambda: 0x3
+        state.write_mem(IPORT_ADDR, 0xF)
+        assert state.read_mem(IPORT_ADDR) == 0x3
+
+    def test_address_wraps_modulo_words(self):
+        state = CoreState(mem_words=8)
+        state.write_mem(10, 5)  # 10 % 8 == 2
+        assert state.mem[2] == 5
+
+    def test_register_view_bypasses_io(self):
+        state = CoreState()
+        state.input_fn = lambda: 0xC
+        state.write_reg(0, 7)
+        assert state.read_reg(0) == 7  # no IPORT interception
+        assert state.io_reads == 0
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self):
+        state = CoreState()
+        state.set_acc(5)
+        state.pc = 9
+        state.carry = 1
+        state.retaddr = 3
+        state.mem[4] = 2
+        state.halted = True
+        state.reset()
+        assert state.snapshot() == {
+            "acc": 0, "pc": 0, "carry": 0, "retaddr": 0,
+            "mem": (0,) * 8, "halted": False,
+        }
+
+    def test_snapshot_is_immutable_copy(self):
+        state = CoreState()
+        snap = state.snapshot()
+        state.mem[2] = 9
+        assert snap["mem"][2] == 0
+
+    def test_repr_is_informative(self):
+        state = CoreState()
+        state.set_acc(0xA)
+        assert "0xa" in repr(state)

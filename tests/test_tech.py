@@ -1,0 +1,132 @@
+"""Technology models: cells, TFT device statistics, power/energy."""
+
+import numpy as np
+import pytest
+
+from repro.tech import cells, power, tft
+
+
+class TestCellLibrary:
+    def test_exactly_thirteen_cells(self):
+        # Figure 1: a thirteen-cell library.
+        assert len(cells.LIBRARY) == 13
+
+    def test_two_drive_variants_where_published(self):
+        for function in ("buf", "dff", "inv", "nand2", "nor2"):
+            assert len(cells.cells_by_function(function)) == 2
+        for function in ("mux2", "xor2", "xnor2"):
+            assert len(cells.cells_by_function(function)) == 1
+
+    def test_nand2_is_the_area_unit(self):
+        assert cells.get_cell("NAND2_X1").area == 1.0
+
+    def test_higher_drive_is_bigger_and_faster(self):
+        for function in ("buf", "dff", "inv", "nand2", "nor2"):
+            x1, x2 = cells.cells_by_function(function)
+            assert x2.area > x1.area
+            assert x2.delay < x1.delay
+
+    def test_every_cell_has_pullups(self):
+        # n-type logic with resistive pull-up: every output has one+.
+        for cell in cells.LIBRARY.values():
+            assert cell.pullups >= 1
+            assert cell.devices > cell.pullups
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            cells.get_cell("AOI22_X1")
+
+    def test_sequential_flag(self):
+        assert cells.get_cell("DFF_X1").sequential
+        assert not cells.get_cell("NAND2_X1").sequential
+
+
+class TestTftModel:
+    def test_figure1_statistics(self):
+        assert tft.VTH_V == (1.29, 0.19)
+        assert tft.ION_UA == (34.85, 7.9)
+
+    def test_sample_device(self):
+        rng = np.random.default_rng(0)
+        device = tft.sample_device(rng)
+        assert 0.5 < device.vth_v < 2.1
+        assert device.ion_ua > 0
+        assert device.ioff_na >= 0
+
+    def test_drive_factor_normalized_at_nominal(self):
+        assert tft.drive_factor(4.5) == pytest.approx(1.0)
+
+    def test_drive_collapses_toward_threshold(self):
+        assert tft.drive_factor(3.0) < 0.35
+        assert tft.drive_factor(1.5) < 0.01
+
+    def test_delay_factor_monotonic(self):
+        assert tft.delay_factor(3.0) > tft.delay_factor(4.0) > \
+            tft.delay_factor(4.5)
+
+    def test_static_current_linear_in_v(self):
+        assert tft.static_current_factor(3.0) == pytest.approx(3.0 / 4.5)
+
+    def test_speed_factor_distribution(self):
+        rng = np.random.default_rng(1)
+        samples = tft.sample_speed_factor(rng, size=20000)
+        assert np.median(samples) == pytest.approx(1.0, rel=0.05)
+        assert 0.1 < np.std(np.log(samples)) < 0.3
+
+
+class TestPowerModel:
+    def test_power_scales_with_v_squared(self):
+        p45 = power.OperatingPoint(vdd=4.5).pullup_power_w()
+        p30 = power.OperatingPoint(vdd=3.0).pullup_power_w()
+        assert p30 / p45 == pytest.approx((3.0 / 4.5) ** 2)
+
+    def test_refined_pullups_cut_power(self):
+        normal = power.OperatingPoint(vdd=4.5)
+        refined = power.OperatingPoint(vdd=4.5, refined_pullups=True)
+        assert refined.pullup_power_w() == pytest.approx(
+            normal.pullup_power_w() / 1.5
+        )
+
+    def test_static_power_proportional_to_pullups(self):
+        point = power.OperatingPoint()
+        assert power.static_power_w(200, point) == pytest.approx(
+            2 * power.static_power_w(100, point)
+        )
+
+    def test_current_ratio_matches_measured_chips(self):
+        """Section 4.2: 1.1 mA at 4.5 V vs 0.73 mA at 3 V (ratio 0.66)."""
+        p45 = power.static_power_w(586, power.OperatingPoint(vdd=4.5))
+        p30 = power.static_power_w(586, power.OperatingPoint(vdd=3.0))
+        i45 = power.supply_current_a(p45, 4.5)
+        i30 = power.supply_current_a(p30, 3.0)
+        assert i30 / i45 == pytest.approx(3.0 / 4.5)
+
+    def test_energy_is_power_times_time(self):
+        assert power.energy_j(4.5e-3, 12500) == pytest.approx(4.5e-3)
+
+    def test_energy_per_instruction_near_paper(self):
+        from repro.netlist import build_flexicore4
+
+        p = power.static_power_w(build_flexicore4().pullups,
+                                 power.OperatingPoint(vdd=4.5))
+        nj = power.energy_per_instruction_j(p) * 1e9
+        assert 250 < nj < 500  # paper: 360 nJ
+
+    def test_battery_life_two_weeks_headline(self):
+        """Section 5.2: IIR+thresholding once per second on a 3 V, 5 mAh
+        battery runs for about two weeks with perfect power gating."""
+        from repro.experiments.figures import figure8
+
+        rows = figure8()["rows"]
+        per_sample_j = (rows["IntAvg"]["energy_uj"]
+                        + rows["Thresholding"]["energy_uj"]) * 1e-6
+        # One sample per second -> average power = energy per second.
+        seconds = power.battery_life_s(per_sample_j, battery_mah=5.0,
+                                       battery_v=3.0)
+        days = seconds / 86400
+        assert 5 < days < 60  # paper: ~two weeks
+
+    def test_daily_energy_budget_matches_paper_math(self):
+        # Paper: one inference per second at ~42 uJ -> 3.6 J/day.
+        daily = 41.6e-6 * 86400
+        assert daily == pytest.approx(3.6, rel=0.01)

@@ -1,0 +1,114 @@
+"""Microarchitecture cycle models and the energy arithmetic."""
+
+import pytest
+
+from repro.sim.simulator import ExecStats
+from repro.sim.timing import (
+    ExecutionEstimate,
+    InfeasibleDesign,
+    MicroArch,
+    cycle_count,
+    cycles_multicycle,
+    cycles_pipelined,
+    cycles_single_cycle,
+    estimate,
+    requires_multicycle_fetch,
+)
+
+
+def stats(one_byte=0, two_byte=0, taken=0):
+    s = ExecStats()
+    s.instructions = one_byte + two_byte
+    s.fetched_bytes = one_byte + 2 * two_byte
+    s.taken_branches = taken
+    if one_byte:
+        s.by_size[1] = one_byte
+    if two_byte:
+        s.by_size[2] = two_byte
+    return s
+
+
+class TestSingleCycle:
+    def test_one_cycle_per_single_byte_instruction(self):
+        assert cycles_single_cycle(stats(one_byte=100), bus_bits=8) == 100
+
+    def test_two_byte_instructions_take_two_fetches(self):
+        assert cycles_single_cycle(
+            stats(one_byte=10, two_byte=5), bus_bits=8
+        ) == 20
+
+    def test_wide_bus_collapses_fetches(self):
+        assert cycles_single_cycle(
+            stats(two_byte=5), bus_bits=16
+        ) == 5
+
+    def test_strict_mode_rejects_multicycle_fetch(self):
+        with pytest.raises(InfeasibleDesign):
+            cycles_single_cycle(stats(two_byte=1), bus_bits=8,
+                                strict=True)
+
+
+class TestPipelined:
+    def test_fill_plus_branch_penalties(self):
+        # 100 instructions, 10 taken branches, 1-cycle fill.
+        assert cycles_pipelined(
+            stats(one_byte=100, taken=10), bus_bits=8
+        ) == 111
+
+    def test_narrow_bus_serializes_fetch(self):
+        assert cycles_pipelined(
+            stats(two_byte=10), bus_bits=8
+        ) == 21
+
+
+class TestMulticycle:
+    def test_doubles_cpi(self):
+        # Section 3.4: a multicycle FlexiCore would double the CPI.
+        assert cycles_multicycle(stats(one_byte=50), bus_bits=8) == 100
+
+    def test_extra_execute_cycles(self):
+        assert cycles_multicycle(
+            stats(one_byte=50), bus_bits=8, execute_cycles=2
+        ) == 150
+
+    def test_narrow_bus_and_two_byte(self):
+        assert cycles_multicycle(stats(two_byte=10), bus_bits=8) == 30
+
+
+class TestDispatch:
+    def test_cycle_count_dispatch(self):
+        s = stats(one_byte=10)
+        assert cycle_count(s, MicroArch.SINGLE_CYCLE) == 10
+        assert cycle_count(s, MicroArch.PIPELINED) == 11
+        assert cycle_count(s, MicroArch.MULTICYCLE) == 20
+
+    def test_requires_multicycle_fetch(self):
+        from repro.isa import get_isa
+
+        assert not requires_multicycle_fetch(get_isa("flexicore4"), 8)
+        assert requires_multicycle_fetch(get_isa("loadstore"), 8)
+        assert not requires_multicycle_fetch(get_isa("loadstore"), 16)
+        assert requires_multicycle_fetch(get_isa("flexicore8"), 8)
+
+
+class TestEnergy:
+    def test_static_power_dominates(self):
+        est = ExecutionEstimate(
+            cycles=12500, frequency_hz=12.5e3, static_power_w=4.5e-3
+        )
+        assert est.time_s == pytest.approx(1.0)
+        assert est.energy_j == pytest.approx(4.5e-3)
+        assert est.energy_per_cycle_j == pytest.approx(360e-9)
+
+    def test_estimate_convenience(self):
+        est = estimate(
+            stats(one_byte=125), MicroArch.SINGLE_CYCLE,
+            frequency_hz=12.5e3, static_power_w=4.5e-3,
+        )
+        assert est.cycles == 125
+        assert est.time_s == pytest.approx(0.01)
+
+    def test_paper_energy_per_instruction(self):
+        """4.5 mW at 12.5 kHz is the paper's 360 nJ per instruction."""
+        est = ExecutionEstimate(1, 12.5e3, 4.5e-3)
+        assert est.energy_per_cycle_j * 1e9 == pytest.approx(360.0)

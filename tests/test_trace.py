@@ -1,0 +1,87 @@
+"""Execution tracer tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.isa import get_isa
+from repro.sim.trace import Tracer, trace_program
+
+FC4 = get_isa("flexicore4")
+EXT = get_isa("extacc")
+
+
+class TestTraceEntries:
+    def test_records_every_instruction(self):
+        program = assemble("addi 1\naddi 2\nhalt\n", EXT)
+        tracer, outputs = trace_program(program)
+        assert len(tracer.entries) == 3
+        assert [entry.text for entry in tracer.entries] == \
+            ["addi 1", "addi 2", "halt"]
+
+    def test_architectural_state_snapshots(self):
+        program = assemble("addi 3\nstore 2\naddi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        assert tracer.entries[0].acc == 3
+        assert tracer.entries[1].mem[2] == 3
+        assert tracer.entries[2].acc == 4
+
+    def test_oport_annotation(self):
+        program = assemble("addi 9\nstore 1\nhalt\n", EXT)
+        tracer, outputs = trace_program(program)
+        assert outputs == [9]
+        assert tracer.entries[0].oport is None
+        assert tracer.entries[1].oport == 9
+
+    def test_page_tracking_across_mmu(self):
+        from repro.asm import Assembler
+        from repro.kernels.macros import build_library
+
+        source = """
+    %farjump 1, there
+.page 1
+there:
+    %ldi 2
+    store 1
+    %halt
+"""
+        program = Assembler(FC4, build_library(FC4)).assemble(source)
+        tracer, outputs = trace_program(program)
+        assert outputs == [2]
+        pages = {entry.page for entry in tracer.entries}
+        assert pages == {0, 1}
+
+    def test_limit_bounds_memory(self):
+        program = assemble("loop: addi 1\nnandi 0\nbrn loop\n", FC4)
+        tracer, _ = trace_program(program, max_cycles=500, limit=50)
+        assert len(tracer.entries) == 50
+
+    def test_text_rendering(self):
+        program = assemble("addi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        text = tracer.text()
+        assert "addi 1" in text and "acc=" in text
+
+    def test_text_windowing(self):
+        program = assemble("addi 1\naddi 1\naddi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        assert len(tracer.text(first=1, count=2).splitlines()) == 2
+
+
+class TestBranchTargets:
+    def test_taken_branches_recovered(self):
+        program = assemble(
+            "nandi 0\nbrn target\naddi 1\ntarget: halt\n", EXT
+        )
+        tracer, _ = trace_program(program)
+        assert tracer.taken_branch_targets() == [3]
+
+    def test_straightline_has_no_targets(self):
+        program = assemble("addi 1\naddi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        assert tracer.taken_branch_targets() == []
+
+    def test_two_byte_instructions_not_misreported(self):
+        # 'br' is two bytes: the fall-through must not look like a jump.
+        program = assemble("xori 0\nbr n, 9\naddi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        assert tracer.taken_branch_targets() == []
