@@ -1,0 +1,82 @@
+"""Execution-engine benchmarks: cold vs cached, serial vs parallel.
+
+These demonstrate the two acceptance properties of the engine on the
+real experiment paths (not toy jobs): a warm result cache makes a rerun
+at least 5x faster, and a process pool produces byte-identical results
+to the serial path.  Run with ``pytest benchmarks/ --benchmark-only``
+(add ``-s`` to see the speedup report).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.engine import Engine
+from repro.fab.process import FC4_WAFER
+from repro.fab.yield_model import run_yield_study
+from repro.netlist.cores import build_flexicore4
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return build_flexicore4()
+
+
+class TestYieldStudyCache:
+    def test_cached_rerun_is_5x_faster(self, netlist, tmp_path):
+        """Acceptance: the second invocation rides the cache."""
+
+        def study(engine):
+            return run_yield_study(
+                netlist, FC4_WAFER, wafers=8, seed=2022, engine=engine
+            )
+
+        started = time.perf_counter()
+        cold = study(Engine(jobs=1, cache=tmp_path))
+        cold_s = time.perf_counter() - started
+
+        warm_engine = Engine(jobs=1, cache=tmp_path)
+        started = time.perf_counter()
+        warm = study(warm_engine)
+        warm_s = time.perf_counter() - started
+
+        assert warm == cold
+        assert warm_engine.metrics.cache_hits == 8
+        assert cold_s >= 5 * warm_s, (cold_s, warm_s)
+        print_result(
+            "Engine cache speedup (yield study, 8 wafers)",
+            f"cold  {cold_s * 1e3:8.1f} ms\n"
+            f"warm  {warm_s * 1e3:8.1f} ms\n"
+            f"ratio {cold_s / warm_s:8.1f}x (acceptance: >= 5x)",
+        )
+
+    def test_warm_cache_bench(self, netlist, tmp_path, benchmark):
+        """Steady-state cached lookup cost for the full study."""
+        engine = Engine(jobs=1, cache=tmp_path)
+        run_yield_study(netlist, FC4_WAFER, wafers=8, seed=2022,
+                        engine=engine)
+
+        summary = benchmark(
+            lambda: run_yield_study(
+                netlist, FC4_WAFER, wafers=8, seed=2022,
+                engine=Engine(jobs=1, cache=tmp_path),
+            )
+        )
+        assert 0.6 < summary[4.5]["inclusion"] <= 1.0
+
+
+class TestYieldStudyParallel:
+    def test_parallel_bench(self, netlist, benchmark):
+        """Process-pool fan-out of the wafer Monte Carlo."""
+        serial = run_yield_study(
+            netlist, FC4_WAFER, wafers=8, seed=2022, engine=Engine(jobs=1)
+        )
+        summary = benchmark.pedantic(
+            lambda: run_yield_study(
+                netlist, FC4_WAFER, wafers=8, seed=2022,
+                engine=Engine(jobs=4),
+            ),
+            rounds=2, iterations=1,
+        )
+        assert summary == serial

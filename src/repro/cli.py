@@ -1,4 +1,5 @@
-"""Command-line interface: ``flexicore`` (or ``python -m repro.cli``).
+"""Command-line interface: ``repro`` / ``flexicore`` (or
+``python -m repro.cli``).
 
 Subcommands
 -----------
@@ -10,6 +11,12 @@ yield        run the wafer-yield Monte Carlo (Table 5)
 dse          run the Section 6 design-space exploration (Figures 11-13)
 experiments  print any paper table/figure ('all' for everything)
 report       write EXPERIMENTS.md
+engine       experiment-engine cache statistics / maintenance
+
+The heavy experiment commands (``yield``, ``dse``, ``pareto``,
+``experiments``, ``report``) accept ``--jobs N`` to fan the work over N
+worker processes and ``--no-cache`` to bypass the on-disk result cache;
+results are bit-identical at any worker count.
 """
 
 import argparse
@@ -24,6 +31,50 @@ def _add_isa_argument(parser, default="flexicore4"):
         help="target ISA (flexicore4, flexicore8, flexicore4plus, "
              "extacc, extacc[...features...], loadstore)",
     )
+
+
+def _positive_int(text):
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _add_engine_arguments(parser):
+    group = parser.add_argument_group("execution engine")
+    group.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for experiment jobs (default: 1, serial)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (.repro-cache or "
+             "$REPRO_CACHE_DIR)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (overrides the default)",
+    )
+    group.add_argument(
+        "--engine-verbose", action="store_true",
+        help="print per-job engine progress to stderr",
+    )
+
+
+def _configure_engine(args):
+    """Install the process-wide default engine from CLI flags."""
+    from repro import engine
+
+    hooks = [engine.progress_printer()] if getattr(
+        args, "engine_verbose", False
+    ) else None
+    cache = None if args.no_cache else (args.cache_dir or True)
+    return engine.configure(jobs=args.jobs, cache=cache, hooks=hooks)
 
 
 def _target(isa_name):
@@ -98,7 +149,10 @@ def cmd_kernels(args):
 def cmd_yield(args):
     from repro.experiments.tables import format_table5
 
-    print(format_table5())
+    engine = _configure_engine(args)
+    print(format_table5(wafers=args.wafers, seed=args.seed))
+    if args.engine_verbose:
+        print(engine.metrics.summary(), file=sys.stderr)
     return 0
 
 
@@ -109,11 +163,14 @@ def cmd_dse(args):
         format_figure13,
     )
 
+    engine = _configure_engine(args)
     print(format_figure12())
     print()
     print(format_figure13())
     print()
     print(format_figure11())
+    if args.engine_verbose:
+        print(engine.metrics.summary(), file=sys.stderr)
     return 0
 
 
@@ -143,6 +200,7 @@ def cmd_floorplan(args):
 def cmd_pareto(args):
     from repro.dse.explorer import explore, format_frontier
 
+    _configure_engine(args)
     metrics = tuple(args.metrics.split(","))
     bus = 8 if args.bus else None
     frontier, points = explore(metrics=metrics, bus_bits=bus)
@@ -204,6 +262,7 @@ def cmd_verilog(args):
 def cmd_experiments(args):
     from repro.experiments.report import ALL_EXPERIMENTS
 
+    _configure_engine(args)
     names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
         if name not in ALL_EXPERIMENTS:
@@ -219,8 +278,51 @@ def cmd_experiments(args):
 def cmd_report(args):
     from repro.experiments.report import generate
 
+    _configure_engine(args)
     generate(args.output)
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_engine(args):
+    # Import the job-function providers so the registry is populated.
+    import repro.dse.evaluate  # noqa: F401
+    import repro.fab.yield_model  # noqa: F401
+    from repro.engine import ResultCache, load_last_run, registered
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir \
+        else ResultCache()
+    if args.action == "clear":
+        stats = cache.stats()
+        cache.clear()
+        print(f"cleared {stats['entries']} cache entries "
+              f"({stats['bytes']} bytes) under {stats['root']}")
+        return 0
+
+    stats = cache.stats()
+    print(f"engine cache: {stats['root']}")
+    if not stats["functions"]:
+        print("  (empty)")
+    for name, entry in stats["functions"].items():
+        print(f"  {name:<24} {entry['entries']:4d} entries  "
+              f"{entry['bytes']:>10,d} bytes")
+    print(f"  {'total':<24} {stats['entries']:4d} entries  "
+          f"{stats['bytes']:>10,d} bytes")
+    print(f"registered job functions: "
+          f"{', '.join(sorted(registered())) or '(none imported)'}")
+    last = load_last_run(cache.root)
+    if last:
+        print("last run:")
+        print(f"  jobs {last['jobs_completed']}/{last['jobs_submitted']}"
+              f" completed, cache hit rate "
+              f"{100 * last['cache_hit_rate']:.0f}%, "
+              f"wall {last['wall_s']:.2f} s"
+              f"{', degraded to serial' if last['degraded'] else ''}")
+        for stage in last.get("stages", []):
+            print(f"  stage {stage['stage']}: {stage['jobs']} jobs, "
+                  f"{stage['cache_hits']} cached, "
+                  f"{stage['computed']} computed, "
+                  f"{stage['wall_s']:.2f} s")
     return 0
 
 
@@ -256,9 +358,14 @@ def build_parser():
     p.set_defaults(fn=cmd_kernels)
 
     p = sub.add_parser("yield", help="wafer-yield Monte Carlo (Table 5)")
+    p.add_argument("--wafers", type=int, default=6,
+                   help="wafers per core in the Monte Carlo (default 6)")
+    p.add_argument("--seed", type=int, default=2022)
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_yield)
 
     p = sub.add_parser("dse", help="design-space exploration summary")
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser("isa", help="print an ISA reference table")
@@ -285,6 +392,7 @@ def build_parser():
                    help="comma list from: area, energy, latency, code")
     p.add_argument("--bus", action="store_true",
                    help="restrict the program bus to 8 bits")
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_pareto)
 
     p = sub.add_parser("trace", help="trace a program's execution")
@@ -297,11 +405,24 @@ def build_parser():
 
     p = sub.add_parser("experiments", help="print a paper table/figure")
     p.add_argument("name", help="e.g. table5, figure8, or 'all'")
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser("report", help="write EXPERIMENTS.md")
     p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    _add_engine_arguments(p)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "engine", help="experiment-engine cache stats / maintenance"
+    )
+    p.add_argument("action", choices=("stats", "clear"),
+                   help="'stats' shows cache + last-run metrics; "
+                        "'clear' deletes the cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: .repro-cache or "
+                        "$REPRO_CACHE_DIR)")
+    p.set_defaults(fn=cmd_engine)
 
     return parser
 

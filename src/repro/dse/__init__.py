@@ -17,6 +17,7 @@ from repro.dse.evaluate import (
     KernelMetrics,
     evaluate_all,
     evaluate_design,
+    evaluate_design_job,
     period_units,
 )
 from repro.dse.features import (
@@ -30,6 +31,6 @@ __all__ = [
     "ACC_MC", "ACC_P", "ACC_SC", "ALL_DESIGNS", "BASELINE",
     "DSE_DESIGNS", "DesignMetrics", "DesignPoint", "FEATURE_LABELS",
     "FeatureReport", "KernelMetrics", "LS_MC", "LS_P", "LS_SC",
-    "evaluate_all", "evaluate_design", "feature_sweep", "period_units",
-    "revised_isa_report",
+    "evaluate_all", "evaluate_design", "evaluate_design_job",
+    "feature_sweep", "period_units", "revised_isa_report",
 ]

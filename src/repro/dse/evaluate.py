@@ -21,6 +21,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.dse.designs import ALL_DESIGNS, BASELINE, DesignPoint
+from repro.engine import Job, engine_or_default, job_function
 from repro.kernels.kernel import Target
 from repro.kernels.suite import SUITE
 from repro.netlist.sta import FETCH_DELAY_UNITS, analyze
@@ -187,14 +188,44 @@ def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
     return metrics
 
 
+@job_function("dse.evaluate_design", version="1")
+def evaluate_design_job(params, seed):
+    """Engine job wrapper around :func:`evaluate_design`.
+
+    The kernel-input seed is an explicit parameter (it is part of the
+    experiment's definition, not of the scheduling), so the engine-level
+    ``seed`` is unused and the job is trivially order-independent.
+    """
+    return evaluate_design(
+        params["design"],
+        transactions=params["transactions"],
+        seed=params["seed"],
+        bus_bits=params["bus_bits"],
+    )
+
+
 def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
-                 bus_bits=None):
-    """Evaluate a set of designs; returns {design name: DesignMetrics}."""
-    return {
-        design.name: evaluate_design(
-            design, transactions=transactions, seed=seed, bus_bits=bus_bits
+                 bus_bits=None, engine=None):
+    """Evaluate a set of designs; returns {design name: DesignMetrics}.
+
+    Each design point is one engine job: with ``engine`` (or the
+    process-wide default) configured for multiple workers the designs
+    evaluate in parallel, and with a cache the whole sweep is a lookup.
+    """
+    jobs = [
+        Job(
+            evaluate_design_job,
+            {"design": design, "transactions": transactions,
+             "seed": seed, "bus_bits": bus_bits},
+            label=f"dse:{design.name}"
+                  + (f":bus{bus_bits}" if bus_bits else ""),
         )
         for design in designs
+    ]
+    results = engine_or_default(engine).run(jobs, stage="dse")
+    return {
+        design.name: metrics
+        for design, metrics in zip(designs, results)
     }
 
 

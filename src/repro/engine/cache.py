@@ -1,0 +1,207 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is addressed by the SHA-256 of a canonical JSON document
+naming everything that determines the result:
+
+- the job function's registered name and version
+  (:func:`repro.engine.registry.function_identity`),
+- the package version (``repro.__version__``),
+- the canonicalized job parameters,
+- the seed token (entropy + spawn key).
+
+Layout on disk (default root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``)::
+
+    <root>/<function-name>/<digest>.pkl    pickled result
+    <root>/<function-name>/<digest>.json   human-readable entry metadata
+    <root>/last_run.json                   metrics of the latest engine run
+
+Values that cannot be canonicalized deterministically (arbitrary objects
+whose ``repr`` embeds addresses) are rejected with ``TypeError`` rather
+than silently producing an unstable key; jobs with such parameters must
+supply ``Job.cache_key`` themselves.
+"""
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Environment override for the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Project-local default cache root.
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+def default_cache_dir():
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIRNAME
+
+
+def _package_version():
+    try:
+        from repro import __version__
+        return __version__
+    except Exception:  # pragma: no cover - import cycle guard
+        return "0"
+
+
+def canonical(value):
+    """Reduce ``value`` to a deterministic JSON-safe structure."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return {"__float__": repr(float(value))}
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": hashlib.sha256(bytes(value)).hexdigest()}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "name": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (frozenset, set)):
+        items = [canonical(item) for item in value]
+        return {"__set__": sorted(items, key=json.dumps)}
+    if isinstance(value, dict):
+        return {
+            "__map__": sorted(
+                ([canonical(k), canonical(v)] for k, v in value.items()),
+                key=json.dumps,
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    token = getattr(value, "cache_token", None)
+    if callable(token):
+        return {"__token__": canonical(token())}
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r}; "
+        "pass primitives/dataclasses or set Job.cache_key explicitly"
+    )
+
+
+def job_cache_key(job):
+    """The content address of a job's result (hex digest)."""
+    if job.cache_key is not None:
+        return job.cache_key
+    from repro.engine.registry import function_identity
+
+    name, version = function_identity(job.fn)
+    document = {
+        "fn": name,
+        "fn_version": version,
+        "package": _package_version(),
+        "params": canonical(dict(job.params)),
+        "seed": job.seed.token() if job.seed is not None else None,
+    }
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _safe_name(name):
+    return "".join(c if (c.isalnum() or c in "._-") else "_"
+                   for c in name) or "anonymous"
+
+
+class ResultCache:
+    """Pickle-backed result store with hit/miss accounting."""
+
+    def __init__(self, root=None):
+        self.root = Path(root or default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ----------------------------------------------------
+
+    def _paths(self, fn_name, key):
+        directory = self.root / _safe_name(fn_name)
+        return directory / f"{key}.pkl", directory / f"{key}.json"
+
+    # -- lookup / store ------------------------------------------------
+
+    def get(self, fn_name, key):
+        """(hit, value); a corrupt or unreadable entry counts as a miss."""
+        data_path, _ = self._paths(fn_name, key)
+        try:
+            with open(data_path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, fn_name, key, value, meta=None):
+        """Atomically store a result (tmp file + rename)."""
+        data_path, meta_path = self._paths(fn_name, key)
+        data_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = data_path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, data_path)
+        except (OSError, pickle.PicklingError):
+            tmp.unlink(missing_ok=True)
+            return False
+        entry_meta = {"fn": fn_name, "key": key,
+                      "created": time.time()}
+        entry_meta.update(meta or {})
+        try:
+            with open(meta_path, "w") as handle:
+                json.dump(entry_meta, handle, indent=2, default=str)
+        except OSError:
+            pass
+        return True
+
+    # -- maintenance / reporting ---------------------------------------
+
+    def clear(self):
+        """Delete every cache entry (and the last-run metrics)."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+
+    def stats(self):
+        """{function name: {"entries": n, "bytes": total}} plus totals."""
+        by_fn = {}
+        total_entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for directory in sorted(self.root.iterdir()):
+                if not directory.is_dir():
+                    continue
+                entries = list(directory.glob("*.pkl"))
+                size = sum(p.stat().st_size for p in entries)
+                if entries:
+                    by_fn[directory.name] = {
+                        "entries": len(entries), "bytes": size,
+                    }
+                    total_entries += len(entries)
+                    total_bytes += size
+        return {
+            "root": str(self.root),
+            "functions": by_fn,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    @property
+    def hit_rate(self):
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0

@@ -1,0 +1,174 @@
+"""Engine run metrics and progress hooks.
+
+The scheduler emits an event stream through registered hooks and folds
+the same events into an :class:`EngineMetrics` record.  Events:
+
+``job_start``      {label, fn}
+``job_done``       {label, fn, status, attempts, elapsed_s, where}
+``stage_done``     {stage, jobs, cache_hits, wall_s}
+``degraded``       {reason}
+
+``status`` is one of ``cached | completed | failed``; ``where`` is
+``pool`` or ``serial``.  Hooks must never raise into the scheduler -- a
+failing hook is dropped for the remainder of the run.
+"""
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: File name (under the cache root) holding the latest run's metrics.
+LAST_RUN_FILENAME = "last_run.json"
+
+
+@dataclass
+class StageMetrics:
+    """One ``Engine.run`` invocation."""
+
+    stage: str
+    jobs: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    wall_s: float = 0.0
+
+
+@dataclass
+class EngineMetrics:
+    """Counters for one engine lifetime (possibly several stages)."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    failures: int = 0
+    worker_failures: int = 0
+    degraded: bool = False
+    wall_s: float = 0.0
+    workers: int = 1
+    stages: List[StageMetrics] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self):
+        seen = self.cache_hits + self.cache_misses
+        return self.cache_hits / seen if seen else 0.0
+
+    def to_dict(self):
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "retries": self.retries,
+            "failures": self.failures,
+            "worker_failures": self.worker_failures,
+            "degraded": self.degraded,
+            "wall_s": round(self.wall_s, 4),
+            "workers": self.workers,
+            "stages": [
+                {
+                    "stage": s.stage,
+                    "jobs": s.jobs,
+                    "cache_hits": s.cache_hits,
+                    "computed": s.computed,
+                    "wall_s": round(s.wall_s, 4),
+                }
+                for s in self.stages
+            ],
+        }
+
+    def summary(self):
+        """One-paragraph human rendering (the ``engine stats`` view)."""
+        lines = [
+            f"jobs: {self.jobs_completed}/{self.jobs_submitted} completed"
+            f" ({self.workers} worker{'s' if self.workers != 1 else ''}"
+            f"{', degraded to serial' if self.degraded else ''})",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            f" ({100 * self.cache_hit_rate:.0f}% hit rate)",
+            f"failures: {self.failures} "
+            f"(retries {self.retries}, worker failures "
+            f"{self.worker_failures})",
+            f"wall clock: {self.wall_s:.2f} s",
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"  stage {stage.stage}: {stage.jobs} jobs, "
+                f"{stage.cache_hits} cached, {stage.computed} computed, "
+                f"{stage.wall_s:.2f} s"
+            )
+        return "\n".join(lines)
+
+
+class HookSet:
+    """Fan-out of engine events to user callbacks, failure-isolated."""
+
+    def __init__(self, hooks=None):
+        self._hooks: List[Callable[[str, Dict], None]] = list(hooks or [])
+
+    def add(self, hook):
+        self._hooks.append(hook)
+
+    def emit(self, event, payload):
+        dead = []
+        for hook in self._hooks:
+            try:
+                hook(event, payload)
+            except Exception:
+                dead.append(hook)
+        for hook in dead:
+            self._hooks.remove(hook)
+
+
+def progress_printer(stream=None):
+    """A ready-made hook printing one line per finished job/stage."""
+    import sys
+
+    out = stream or sys.stderr
+
+    def hook(event, payload):
+        if event == "job_done":
+            print(
+                f"[engine] {payload['label']}: {payload['status']} "
+                f"({payload['elapsed_s']:.2f}s, {payload['where']})",
+                file=out,
+            )
+        elif event == "stage_done":
+            print(
+                f"[engine] stage {payload['stage']}: "
+                f"{payload['jobs']} jobs, "
+                f"{payload['cache_hits']} cached, "
+                f"{payload['wall_s']:.2f}s",
+                file=out,
+            )
+        elif event == "degraded":
+            print(f"[engine] degraded to serial: {payload['reason']}",
+                  file=out)
+
+    return hook
+
+
+def persist_last_run(metrics, cache_root):
+    """Write the metrics snapshot next to the cache for ``engine stats``."""
+    from pathlib import Path
+
+    root = Path(cache_root)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        payload = dict(metrics.to_dict(), written=time.time())
+        with open(root / LAST_RUN_FILENAME, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    except OSError:
+        pass
+
+
+def load_last_run(cache_root):
+    from pathlib import Path
+
+    path = Path(cache_root) / LAST_RUN_FILENAME
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,69 @@
+"""Registry of engine job functions.
+
+Registration serves two purposes:
+
+- **Stable cache identity.**  Cache keys embed the registered name and
+  version rather than ``module.qualname``, so refactors that move a
+  function do not invalidate its cached results -- while bumping
+  ``version`` when the *math* changes forces recomputation.
+- **Introspection.**  ``repro engine stats`` groups the on-disk cache by
+  registered name, and the registry is the index of what can appear.
+
+Functions are still pickled by reference for worker processes, so they
+must remain importable module-level callables.
+"""
+
+from typing import Callable, Dict
+
+#: name -> callable, populated at import time by :func:`job_function`.
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def job_function(name, version="1"):
+    """Decorator: register ``fn`` as an engine job function.
+
+    ``name`` is a dotted namespace (``"fab.wafer_yield"``); ``version``
+    is a cache salt -- bump it whenever the function's output for the
+    same ``(params, seed)`` changes.
+    """
+
+    def decorate(fn):
+        previous = _REGISTRY.get(name)
+        if previous is not None and previous is not fn:
+            raise ValueError(
+                f"engine job function {name!r} registered twice"
+            )
+        fn.__engine_name__ = name
+        fn.__engine_version__ = str(version)
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def resolve(name):
+    """Look up a registered job function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine job function {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered():
+    """Snapshot of the registry ({name: callable})."""
+    return dict(_REGISTRY)
+
+
+def function_identity(fn):
+    """(stable name, version) used in cache keys.
+
+    Unregistered functions fall back to ``module.qualname`` with
+    version ``"0"`` -- still deterministic, just refactor-fragile.
+    """
+    name = getattr(fn, "__engine_name__", None)
+    if name is not None:
+        return name, getattr(fn, "__engine_version__", "1")
+    return f"{fn.__module__}.{fn.__qualname__}", "0"

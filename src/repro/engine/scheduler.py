@@ -1,0 +1,298 @@
+"""The experiment scheduler: fan jobs out, survive failures, stay exact.
+
+Execution strategy for one :meth:`Engine.run`:
+
+1. every job is first looked up in the result cache (when enabled);
+2. misses run either inline (``jobs <= 1``) or on a
+   :class:`concurrent.futures.ProcessPoolExecutor`, chunked to amortize
+   IPC, with an optional per-job timeout;
+3. a job that raises inside a worker is retried *serially* with
+   exponential backoff (bounded by ``retries``);
+4. a broken pool or a timeout degrades the whole run to serial for the
+   remaining jobs rather than failing it.
+
+Because every job carries its own :class:`~repro.engine.job.ChildSeed`
+and results are reassembled in submission order, none of the above
+changes a single bit of the output.
+"""
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from math import ceil
+
+from repro.engine.cache import ResultCache, job_cache_key
+from repro.engine.job import Job
+from repro.engine.metrics import (
+    EngineMetrics,
+    HookSet,
+    StageMetrics,
+    persist_last_run,
+)
+
+
+class EngineJobError(RuntimeError):
+    """A job kept failing after its retry budget was spent."""
+
+    def __init__(self, label, attempts, cause):
+        super().__init__(
+            f"job {label!r} failed after {attempts} attempt(s): {cause}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.cause = cause
+
+
+def _execute_chunk(payloads):
+    """Worker-side entry point: run a chunk of (fn, params, seed).
+
+    Exceptions are flattened to strings here -- a raw exception object
+    may itself fail to pickle on the way back, which would take the
+    whole pool down instead of one job.
+    """
+    results = []
+    for fn, params, seed in payloads:
+        started = time.perf_counter()
+        try:
+            value = fn(params, seed)
+        except Exception as exc:
+            results.append((
+                "err",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            ))
+        else:
+            results.append(("ok", value, time.perf_counter() - started))
+    return results
+
+
+def _default_pool_factory(workers):
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+class Engine:
+    """Parallel, cached, fault-tolerant runner for :class:`Job` lists.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``<= 1`` runs everything inline.
+    cache:
+        ``None`` (disabled), ``True`` (default directory), a path, or a
+        ready :class:`~repro.engine.cache.ResultCache`.
+    timeout:
+        Optional per-job seconds; enforced while waiting on worker
+        results (a timed-out chunk degrades the run to serial).
+    retries / backoff:
+        Failed jobs are re-run up to ``retries`` more times, sleeping
+        ``backoff * 2**attempt`` seconds between attempts.
+    chunk_size:
+        Jobs per worker submission; defaults to ``n / (4 * workers)``.
+    hooks:
+        Iterable of ``hook(event, payload)`` progress callbacks.
+    """
+
+    def __init__(self, jobs=1, cache=None, timeout=None, retries=2,
+                 backoff=0.05, chunk_size=None, hooks=None,
+                 pool_factory=None):
+        self.jobs = max(1, int(jobs))
+        if cache is True:
+            cache = ResultCache()
+        elif isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.chunk_size = chunk_size
+        self.hooks = HookSet(hooks)
+        self.metrics = EngineMetrics(workers=self.jobs)
+        self._pool_factory = pool_factory or _default_pool_factory
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, jobs, stage="run"):
+        """Run every job; return results in submission order."""
+        jobs = [job if isinstance(job, Job) else Job(*job)
+                for job in jobs]
+        started = time.perf_counter()
+        stage_metrics = StageMetrics(stage=stage, jobs=len(jobs))
+        self.metrics.jobs_submitted += len(jobs)
+
+        results = [None] * len(jobs)
+        pending = []
+        keys = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[index] = job_cache_key(job)
+                hit, value = self.cache.get(
+                    _fn_name(job), keys[index]
+                )
+                if hit:
+                    results[index] = value
+                    self.metrics.cache_hits += 1
+                    self.metrics.jobs_completed += 1
+                    stage_metrics.cache_hits += 1
+                    self.hooks.emit("job_done", {
+                        "label": job.label, "fn": _fn_name(job),
+                        "status": "cached", "attempts": 0,
+                        "elapsed_s": 0.0, "where": "cache",
+                    })
+                    continue
+                self.metrics.cache_misses += 1
+            pending.append(index)
+
+        if pending:
+            if self.jobs <= 1 or len(pending) == 1:
+                self._run_serial(jobs, pending, results)
+            else:
+                self._run_parallel(jobs, pending, results)
+            for index in pending:
+                if self.cache is not None:
+                    self.cache.put(
+                        _fn_name(jobs[index]), keys[index],
+                        results[index], meta={
+                            "label": jobs[index].label,
+                            "seed": (jobs[index].seed.token()
+                                     if jobs[index].seed else None),
+                        },
+                    )
+            stage_metrics.computed = len(pending)
+
+        stage_metrics.wall_s = time.perf_counter() - started
+        self.metrics.wall_s += stage_metrics.wall_s
+        self.metrics.stages.append(stage_metrics)
+        self.hooks.emit("stage_done", {
+            "stage": stage, "jobs": len(jobs),
+            "cache_hits": stage_metrics.cache_hits,
+            "wall_s": stage_metrics.wall_s,
+        })
+        if self.cache is not None:
+            persist_last_run(self.metrics, self.cache.root)
+        return results
+
+    def run_one(self, job):
+        return self.run([job], stage=job.label)[0]
+
+    # -- serial path ---------------------------------------------------
+
+    def _run_serial(self, jobs, indices, results, attempts_used=0):
+        for index in indices:
+            results[index] = self._attempt_until_done(
+                jobs[index], attempts_used
+            )
+
+    def _attempt_until_done(self, job, attempts_used=0):
+        attempt = attempts_used
+        last_error = None
+        while attempt <= self.retries:
+            attempt += 1
+            started = time.perf_counter()
+            try:
+                value = job.fn(dict(job.params), job.seed)
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                if attempt <= self.retries:
+                    self.metrics.retries += 1
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                continue
+            self.metrics.jobs_completed += 1
+            self.hooks.emit("job_done", {
+                "label": job.label, "fn": _fn_name(job),
+                "status": "completed", "attempts": attempt,
+                "elapsed_s": time.perf_counter() - started,
+                "where": "serial",
+            })
+            return value
+        self.metrics.failures += 1
+        self.hooks.emit("job_done", {
+            "label": job.label, "fn": _fn_name(job),
+            "status": "failed", "attempts": attempt,
+            "elapsed_s": 0.0, "where": "serial",
+        })
+        raise EngineJobError(job.label, attempt, last_error)
+
+    # -- parallel path -------------------------------------------------
+
+    def _run_parallel(self, jobs, indices, results):
+        workers = min(self.jobs, len(indices))
+        chunk_size = self.chunk_size or max(
+            1, ceil(len(indices) / (workers * 4))
+        )
+        chunks = [
+            indices[start:start + chunk_size]
+            for start in range(0, len(indices), chunk_size)
+        ]
+        retry_serial = []   # indices that failed once in a worker
+        leftover = []       # indices never run because the pool died
+
+        try:
+            executor = self._pool_factory(workers)
+        except Exception as exc:
+            self._degrade(f"could not start worker pool: {exc}")
+            self._run_serial(jobs, indices, results)
+            return
+
+        try:
+            futures = []
+            for chunk in chunks:
+                payload = [
+                    (jobs[i].fn, dict(jobs[i].params), jobs[i].seed)
+                    for i in chunk
+                ]
+                futures.append((chunk, executor.submit(
+                    _execute_chunk, payload
+                )))
+            broken = False
+            for position, (chunk, future) in enumerate(futures):
+                if broken:
+                    leftover.extend(chunk)
+                    continue
+                chunk_timeout = (self.timeout * len(chunk)
+                                 if self.timeout else None)
+                try:
+                    outcomes = future.result(timeout=chunk_timeout)
+                except (BrokenProcessPool, FutureTimeoutError,
+                        OSError) as exc:
+                    self.metrics.worker_failures += 1
+                    self._degrade(
+                        f"{type(exc).__name__} while waiting on "
+                        f"chunk of {len(chunk)} job(s)"
+                    )
+                    leftover.extend(chunk)
+                    broken = True
+                    continue
+                for index, outcome in zip(chunk, outcomes):
+                    if outcome[0] == "ok":
+                        results[index] = outcome[1]
+                        self.metrics.jobs_completed += 1
+                        self.hooks.emit("job_done", {
+                            "label": jobs[index].label,
+                            "fn": _fn_name(jobs[index]),
+                            "status": "completed", "attempts": 1,
+                            "elapsed_s": outcome[2], "where": "pool",
+                        })
+                    else:
+                        self.metrics.worker_failures += 1
+                        retry_serial.append(index)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+        if leftover:
+            self._run_serial(jobs, leftover, results)
+        if retry_serial:
+            # One attempt already happened in the worker.
+            self._run_serial(jobs, retry_serial, results,
+                             attempts_used=1)
+
+    def _degrade(self, reason):
+        self.metrics.degraded = True
+        self.hooks.emit("degraded", {"reason": reason})
+
+
+def _fn_name(job):
+    from repro.engine.registry import function_identity
+
+    return function_identity(job.fn)[0]

@@ -12,9 +12,10 @@ import numpy as np
 from repro.dse.designs import ALL_DESIGNS, BASELINE, DSE_DESIGNS
 from repro.dse.evaluate import evaluate_all
 from repro.dse.features import feature_sweep, revised_isa_report
+from repro.engine import Job, engine_or_default, spawn_seeds
 from repro.experiments import paper_data
 from repro.fab.process import FC4_WAFER, FC8_WAFER
-from repro.fab.yield_model import fabricate_wafer
+from repro.fab.yield_model import probed_wafer_job
 from repro.kernels import calculator
 from repro.kernels.kernel import Target
 from repro.kernels.suite import SUITE, get_kernel
@@ -26,22 +27,50 @@ from repro.tech.power import FMAX_HZ, OperatingPoint, static_power_w
 # Figures 6 and 7: wafer maps.
 # ----------------------------------------------------------------------
 
-@lru_cache(maxsize=None)
-def _probed_wafers(seed=2022):
-    """One fabricated wafer per core, probed at both voltages."""
-    rng = np.random.default_rng(seed)
+#: (display name, registered core name, wafer process) of the Figure
+#: 6/7 wafer maps.
+_WAFER_CORES = (
+    ("FlexiCore4", "flexicore4", FC4_WAFER),
+    ("FlexiCore8", "flexicore8", FC8_WAFER),
+)
+
+
+def engine_wafer_provider(seed, engine=None, voltages=(3.0, 4.5)):
+    """Default wafer provider: one engine job per core, each fabricated
+    and probed under its own ``SeedSequence.spawn`` child seed, so the
+    result is identical whether the jobs run serially, in parallel, or
+    straight out of the result cache."""
+    jobs = [
+        Job(
+            probed_wafer_job,
+            {"core": core, "process": process,
+             "voltages": tuple(voltages)},
+            seed=child,
+            label=f"probe:{core}",
+        )
+        for (_, core, process), child in zip(
+            _WAFER_CORES, spawn_seeds(seed, len(_WAFER_CORES))
+        )
+    ]
+    results = engine_or_default(engine).run(jobs, stage="wafers")
     wafers = {}
-    for name, build, process in (
-        ("FlexiCore4", build_flexicore4, FC4_WAFER),
-        ("FlexiCore8", build_flexicore8, FC8_WAFER),
-    ):
-        fabricated = fabricate_wafer(build(), process, rng)
-        wafers[name] = {
-            "fabricated": fabricated,
-            3.0: fabricated.probe(3.0, rng),
-            4.5: fabricated.probe(4.5, rng),
-        }
+    for (name, _, _), result in zip(_WAFER_CORES, results):
+        entry = {"fabricated": result["fabricated"]}
+        entry.update(result["probes"])
+        wafers[name] = entry
     return wafers
+
+
+@lru_cache(maxsize=None)
+def _probed_wafers(seed=2022, provider=None):
+    """One fabricated wafer per core, probed at both voltages.
+
+    ``provider`` is injectable (``provider(seed) -> {core: {"fabricated":
+    wafer, voltage: probe, ...}}``) so cached/parallel engine results --
+    or synthetic wafers in tests -- flow through every Figure 6/7 helper
+    instead of runs constructed inline."""
+    provider = provider or engine_wafer_provider
+    return provider(seed)
 
 
 def figure6(seed=2022):

@@ -77,16 +77,13 @@ def format_section35():
 
 def format_usage_variation():
     """Section 4.2's closing observation, quantified: how the measured
-    current spread translates into unequal battery lifetimes."""
-    import numpy as np
+    current spread translates into unequal battery lifetimes.
 
-    from repro.fab import FC4_WAFER, fabricate_wafer
+    Reuses the Figure 6/7 wafer from the engine-backed provider, so the
+    analysis shares its cache entry instead of re-rolling a wafer."""
     from repro.fab.variation import summarize, usage_distribution
-    from repro.netlist.cores import build_flexicore4
 
-    rng = np.random.default_rng(2022)
-    wafer = fabricate_wafer(build_flexicore4(), FC4_WAFER, rng)
-    probe = wafer.probe(4.5, rng)
+    probe = figures._probed_wafers()["FlexiCore4"][4.5]
     # One IntAvg+Thresholding inference (the Section 5.2 pipeline).
     dist = usage_distribution(probe, instructions_per_use=110)
     return (

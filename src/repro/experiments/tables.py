@@ -6,8 +6,6 @@ renders the same rows the paper prints.
 
 from functools import lru_cache
 
-import numpy as np
-
 from repro.experiments import paper_data
 from repro.fab.process import FC4_WAFER, FC8_WAFER
 from repro.fab.yield_model import run_yield_study
@@ -150,15 +148,22 @@ def format_table3():
 
 @lru_cache(maxsize=None)
 def _yield_summaries(wafers=6, seed=2022):
-    rng = np.random.default_rng(seed)
-    summaries = {}
-    summaries["FlexiCore4"] = run_yield_study(
-        _netlists()["flexicore4"], FC4_WAFER, rng, wafers=wafers
-    )
-    summaries["FlexiCore8"] = run_yield_study(
-        _netlists()["flexicore8"], FC8_WAFER, rng, wafers=wafers
-    )
-    return summaries
+    """Engine-backed multi-wafer Monte Carlo: each core gets its own
+    ``SeedSequence.spawn`` child, each wafer its own grandchild, so the
+    summaries are identical at any worker count."""
+    from repro.engine import spawn_seeds
+
+    fc4_seed, fc8_seed = spawn_seeds(seed, 2)
+    return {
+        "FlexiCore4": run_yield_study(
+            _netlists()["flexicore4"], FC4_WAFER, wafers=wafers,
+            seed=fc4_seed, core="flexicore4",
+        ),
+        "FlexiCore8": run_yield_study(
+            _netlists()["flexicore8"], FC8_WAFER, wafers=wafers,
+            seed=fc8_seed, core="flexicore8",
+        ),
+    }
 
 
 def table4():
@@ -224,9 +229,9 @@ def format_table4():
     return "\n".join(lines)
 
 
-def table5():
+def table5(wafers=6, seed=2022):
     """Yield at 3 V / 4.5 V, full wafer vs inclusion zone (Table 5)."""
-    summaries = _yield_summaries()
+    summaries = _yield_summaries(wafers=wafers, seed=seed)
     result = {}
     for core, summary in summaries.items():
         result[core] = {
@@ -237,8 +242,8 @@ def table5():
     return result
 
 
-def format_table5():
-    rows = table5()
+def format_table5(wafers=6, seed=2022):
+    rows = table5(wafers=wafers, seed=seed)
     lines = [
         "Table 5: yield, measured (paper)",
         f"{'':<12} {'Full 3V':>12} {'Full 4.5V':>12} "

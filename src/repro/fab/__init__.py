@@ -23,7 +23,9 @@ from repro.fab.yield_model import (
     ProbeRecord,
     WaferProbeResult,
     fabricate_wafer,
+    probed_wafer_job,
     run_yield_study,
+    wafer_yield_job,
 )
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "EDGE_EXCLUSION_MM", "FC4_WAFER", "FC8_WAFER", "FabricatedWafer",
     "FaultStudyResult", "ProbeRecord", "TEST_CYCLES", "WAFER_DIAMETER_MM",
     "Wafer", "WaferProbeResult", "WaferProcess", "directed_program",
-    "fabricate_wafer", "fault_injection_study", "process_for",
-    "random_program", "run_yield_study", "toggle_coverage_study",
+    "fabricate_wafer", "fault_injection_study", "probed_wafer_job",
+    "process_for", "random_program", "run_yield_study",
+    "toggle_coverage_study", "wafer_yield_job",
 ]

@@ -15,10 +15,12 @@ suite (Figure 6's wafer maps); every probed die reports a current draw
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 import numpy as np
 
+from repro.engine import Job, engine_or_default, job_function, spawn_seeds
 from repro.fab.process import WaferProcess
 from repro.fab.wafer import Wafer
 from repro.tech import tft
@@ -196,42 +198,143 @@ def fabricate_wafer(netlist, process, rng, wafer=None, timing_report=None):
     )
 
 
-def run_yield_study(netlist, process, rng, wafers=5,
-                    voltages=(3.0, 4.5)):
-    """Monte Carlo over several wafers: the Table 5 numbers.
+def _probe_bucket(probe):
+    """Compact pass/current summary of one probed wafer at one voltage."""
+    bucket = {"full_pass": 0, "full_total": 0,
+              "incl_pass": 0, "incl_total": 0, "currents": []}
+    for record in probe.records:
+        bucket["full_total"] += 1
+        bucket["full_pass"] += record.functional
+        if record.site.in_inclusion_zone:
+            bucket["incl_total"] += 1
+            bucket["incl_pass"] += record.functional
+            if record.functional:
+                bucket["currents"].append(record.current_ma)
+    return bucket
 
-    Returns {voltage: {"full": fraction, "inclusion": fraction,
-    "mean_current_ma": .., "rsd": ..}} aggregated over wafers.
-    """
-    accumulator = {
-        voltage: {"full_pass": 0, "full_total": 0,
-                  "incl_pass": 0, "incl_total": 0,
-                  "currents": []}
-        for voltage in voltages
-    }
-    for _ in range(wafers):
-        fabricated = fabricate_wafer(netlist, process, rng)
-        for voltage in voltages:
-            probe = fabricated.probe(voltage, rng)
-            bucket = accumulator[voltage]
-            for record in probe.records:
-                bucket["full_total"] += 1
-                bucket["full_pass"] += record.functional
-                if record.site.in_inclusion_zone:
-                    bucket["incl_total"] += 1
-                    bucket["incl_pass"] += record.functional
-                    if record.functional:
-                        bucket["currents"].append(record.current_ma)
+
+def _merge_buckets(per_wafer, voltages):
+    """Fold per-wafer buckets into the Table 5 summary, in wafer order
+    (so the result is independent of execution order)."""
     summary = {}
-    for voltage, bucket in accumulator.items():
-        currents = np.array(bucket["currents"])
+    for voltage in voltages:
+        merged = {"full_pass": 0, "full_total": 0,
+                  "incl_pass": 0, "incl_total": 0, "currents": []}
+        for buckets in per_wafer:
+            bucket = buckets[voltage]
+            for count in ("full_pass", "full_total",
+                          "incl_pass", "incl_total"):
+                merged[count] += bucket[count]
+            merged["currents"].extend(bucket["currents"])
+        currents = np.array(merged["currents"])
         mean = float(np.mean(currents)) if len(currents) else 0.0
         std = float(np.std(currents)) if len(currents) else 0.0
         summary[voltage] = {
-            "full": bucket["full_pass"] / max(1, bucket["full_total"]),
-            "inclusion": bucket["incl_pass"] / max(1, bucket["incl_total"]),
+            "full": merged["full_pass"] / max(1, merged["full_total"]),
+            "inclusion": (
+                merged["incl_pass"] / max(1, merged["incl_total"])
+            ),
             "mean_current_ma": mean,
             "std_current_ma": std,
             "rsd": std / mean if mean else 0.0,
         }
     return summary
+
+
+@lru_cache(maxsize=None)
+def _core_static(core):
+    """Per-process memo of a named core's netlist and timing report, so
+    pool workers build each core at most once."""
+    from repro.netlist.cores import build_core
+    from repro.netlist.sta import analyze
+
+    netlist = build_core(core)
+    return netlist, analyze(netlist)
+
+
+@job_function("fab.wafer_yield", version="1")
+def wafer_yield_job(params, seed):
+    """Engine job: fabricate one wafer of ``params['core']`` and probe
+    it at every voltage, returning compact per-voltage buckets."""
+    netlist, report = _core_static(params["core"])
+    rng = seed.rng()
+    fabricated = fabricate_wafer(
+        netlist, params["process"], rng, timing_report=report
+    )
+    return {
+        voltage: _probe_bucket(fabricated.probe(voltage, rng))
+        for voltage in params["voltages"]
+    }
+
+
+@job_function("fab.probed_wafer", version="1")
+def probed_wafer_job(params, seed):
+    """Engine job: one fabricated wafer with its full probe records
+    (the Figure 6/7 wafer maps need every die, not just the counts)."""
+    netlist, report = _core_static(params["core"])
+    rng = seed.rng()
+    fabricated = fabricate_wafer(
+        netlist, params["process"], rng, timing_report=report
+    )
+    return {
+        "fabricated": fabricated,
+        "probes": {
+            voltage: fabricated.probe(voltage, rng)
+            for voltage in params["voltages"]
+        },
+    }
+
+
+def run_yield_study(netlist, process, rng=None, wafers=5,
+                    voltages=(3.0, 4.5), *, seed=None, core=None,
+                    engine=None):
+    """Monte Carlo over several wafers: the Table 5 numbers.
+
+    Returns {voltage: {"full": fraction, "inclusion": fraction,
+    "mean_current_ma": .., "rsd": ..}} aggregated over wafers.
+
+    Two seeding modes:
+
+    - ``seed=`` (int or :class:`~repro.engine.ChildSeed`): each wafer
+      draws from its own ``SeedSequence.spawn`` child, and the wafers
+      run as engine jobs -- parallel over ``--jobs`` workers, cached on
+      disk, and bit-for-bit identical to the serial run.  ``core`` names
+      the registered core builder (defaults to ``netlist.name``).
+    - ``rng=`` (legacy): a single generator threaded through the wafers
+      sequentially; inherently serial and order-dependent, kept for
+      callers that fabricate unregistered netlists.
+    """
+    if seed is not None:
+        core = core or getattr(netlist, "name", None)
+        from repro.netlist.cores import CORE_BUILDERS
+
+        if core not in CORE_BUILDERS:
+            raise ValueError(
+                f"engine-backed yield study needs a registered core "
+                f"name, got {core!r}; pass rng= for ad-hoc netlists"
+            )
+        jobs = [
+            Job(
+                wafer_yield_job,
+                {"core": core, "process": process,
+                 "voltages": tuple(voltages)},
+                seed=child,
+                label=f"{core}:wafer{index}",
+            )
+            for index, child in enumerate(spawn_seeds(seed, wafers))
+        ]
+        per_wafer = engine_or_default(engine).run(
+            jobs, stage=f"yield:{core}"
+        )
+        return _merge_buckets(per_wafer, voltages)
+
+    if rng is None:
+        raise TypeError("run_yield_study requires either seed= or rng=")
+    per_wafer = []
+    for _ in range(wafers):
+        fabricated = fabricate_wafer(netlist, process, rng)
+        per_wafer.append({
+            voltage: _probe_bucket(fabricated.probe(voltage, rng))
+            for voltage in voltages
+        })
+    return _merge_buckets(per_wafer, voltages)

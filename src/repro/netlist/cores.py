@@ -186,3 +186,21 @@ def build_flexicore8():
     return _build_accumulator_base(
         "flexicore8", width=8, mem_words=4, load_byte=True
     )
+
+
+#: Named core builders, so a worker process (or a cache key) can refer
+#: to a fabricated core by its stable name instead of a netlist object.
+CORE_BUILDERS = {
+    "flexicore4": build_flexicore4,
+    "flexicore8": build_flexicore8,
+}
+
+
+def build_core(name):
+    """Build a registered core netlist by name."""
+    try:
+        return CORE_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown core {name!r}; choose from {sorted(CORE_BUILDERS)}"
+        ) from None
