@@ -12,11 +12,15 @@ dse          run the Section 6 design-space exploration (Figures 11-13)
 experiments  print any paper table/figure ('all' for everything)
 report       write EXPERIMENTS.md
 engine       experiment-engine cache statistics / maintenance
+obs          observability: summary / export / tail of the last run
 
 The heavy experiment commands (``yield``, ``dse``, ``pareto``,
 ``experiments``, ``report``) accept ``--jobs N`` to fan the work over N
 worker processes and ``--no-cache`` to bypass the on-disk result cache;
-results are bit-identical at any worker count.
+results are bit-identical at any worker count.  The same commands take
+``--profile`` (span tree + metrics summary on stderr), ``--trace FILE``
+(Chrome ``trace_event`` JSON), ``--log-level``/``--quiet``; the
+collected run persists to the state directory for ``repro obs``.
 """
 
 import argparse
@@ -75,6 +79,72 @@ def _configure_engine(args):
     ) else None
     cache = None if args.no_cache else (args.cache_dir or True)
     return engine.configure(jobs=args.jobs, cache=cache, hooks=hooks)
+
+
+def _add_obs_arguments(parser):
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="collect spans + metrics; print the span tree and a "
+             "metrics summary to stderr when done",
+    )
+    group.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON of the run to FILE "
+             "(implies collection; open in about://tracing)",
+    )
+    group.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold (default: warning)",
+    )
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="suppress log chatter (equivalent to --log-level error)",
+    )
+
+
+def _configure_obs(args):
+    """Turn on the observability layer as the CLI flags ask."""
+    from repro import obs
+
+    collect = bool(getattr(args, "profile", False)
+                   or getattr(args, "trace", None))
+    level = getattr(args, "log_level", None)
+    if getattr(args, "quiet", False):
+        level = "error"
+    elif level is None and getattr(args, "engine_verbose", False):
+        level = "debug"
+    elif level is None and collect:
+        level = "info"
+    obs.configure(
+        metrics=collect or None,
+        trace=collect or None,
+        log_level=level,
+        persist_log=True if level not in (None, "warning") else None,
+    )
+
+
+def _finish_obs(args):
+    """Render/persist whatever the run collected, per the CLI flags."""
+    from repro import obs
+
+    collect = bool(getattr(args, "profile", False)
+                   or getattr(args, "trace", None))
+    if not collect:
+        return
+    obs.persist_snapshot()
+    if getattr(args, "trace", None):
+        with open(args.trace, "w") as handle:
+            handle.write(obs.export_text(
+                "chrome", snapshot=obs.registry().snapshot(),
+                spans=obs.collected_spans(),
+            ))
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(obs.render_tree(obs.collected_spans()), file=sys.stderr)
+        print(file=sys.stderr)
+        print(obs.summary(), file=sys.stderr)
 
 
 def _target(isa_name):
@@ -326,6 +396,41 @@ def cmd_engine(args):
     return 0
 
 
+def cmd_obs(args):
+    from repro import obs
+    from repro.obs import logging as obs_logging
+
+    root = args.state_dir  # None -> $REPRO_STATE_DIR / .repro-state
+    if args.action == "summary":
+        snapshot, spans = obs.load_snapshot(root=root)
+        if not snapshot and not spans:
+            print("no persisted observability data "
+                  f"(run a command with --profile first; looked in "
+                  f"{obs.state_dir(root)})")
+            return 1
+        if spans:
+            print(obs.render_tree(spans))
+            print()
+        print(obs.summary(snapshot))
+        return 0
+    if args.action == "export":
+        snapshot, spans = obs.load_snapshot(root=root)
+        sys.stdout.write(obs.export_text(
+            args.format, snapshot=snapshot, spans=spans
+        ))
+        return 0
+    if args.action == "tail":
+        records = obs_logging.tail_log(count=args.lines, root=root)
+        if not records:
+            print("no structured log records in "
+                  f"{obs.state_dir(root)}")
+            return 1
+        print(obs_logging.render_log_records(records))
+        return 0
+    print(f"unknown obs action '{args.action}'", file=sys.stderr)
+    return 2
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexicore",
@@ -362,10 +467,12 @@ def build_parser():
                    help="wafers per core in the Monte Carlo (default 6)")
     p.add_argument("--seed", type=int, default=2022)
     _add_engine_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(fn=cmd_yield)
 
     p = sub.add_parser("dse", help="design-space exploration summary")
     _add_engine_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser("isa", help="print an ISA reference table")
@@ -393,6 +500,7 @@ def build_parser():
     p.add_argument("--bus", action="store_true",
                    help="restrict the program bus to 8 bits")
     _add_engine_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(fn=cmd_pareto)
 
     p = sub.add_parser("trace", help="trace a program's execution")
@@ -406,11 +514,13 @@ def build_parser():
     p = sub.add_parser("experiments", help="print a paper table/figure")
     p.add_argument("name", help="e.g. table5, figure8, or 'all'")
     _add_engine_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser("report", help="write EXPERIMENTS.md")
     p.add_argument("-o", "--output", default="EXPERIMENTS.md")
     _add_engine_arguments(p)
+    _add_obs_arguments(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
@@ -424,12 +534,36 @@ def build_parser():
                         "$REPRO_CACHE_DIR)")
     p.set_defaults(fn=cmd_engine)
 
+    p = sub.add_parser(
+        "obs",
+        help="observability: summary / export / tail of the last run",
+    )
+    p.add_argument("action", choices=("summary", "export", "tail"),
+                   help="'summary' prints the span tree + metrics of "
+                        "the last profiled run; 'export' emits it in a "
+                        "machine format; 'tail' shows recent log "
+                        "records")
+    p.add_argument("--format", default="prometheus",
+                   choices=("prometheus", "jsonl", "chrome"),
+                   help="export format (default: prometheus)")
+    p.add_argument("-n", "--lines", type=_positive_int, default=20,
+                   help="log records to show with 'tail' (default 20)")
+    p.add_argument("--state-dir", default=None,
+                   help="state directory (default: .repro-state or "
+                        "$REPRO_STATE_DIR)")
+    p.set_defaults(fn=cmd_obs)
+
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if hasattr(args, "profile"):
+        _configure_obs(args)
+    status = args.fn(args)
+    if hasattr(args, "profile"):
+        _finish_obs(args)
+    return status
 
 
 if __name__ == "__main__":

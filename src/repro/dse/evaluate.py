@@ -14,12 +14,14 @@ Everything Figures 9-13 need, measured rather than assumed:
 """
 
 import math
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.dse.designs import ALL_DESIGNS, BASELINE, DesignPoint
 from repro.engine import Job, engine_or_default, job_function
 from repro.kernels.kernel import Target
@@ -125,6 +127,24 @@ def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
     configuration uses 8); by default each design gets a bus wide enough
     to fetch one instruction per cycle, as the paper assumes first.
     """
+    started = time.perf_counter()
+    with obs.span("dse.evaluate", design=design.name):
+        metrics = _evaluate_design(
+            design, transactions, seed, vdd, bus_bits
+        )
+    if obs.active():
+        registry = obs.registry()
+        registry.counter(
+            "dse_designs_evaluated_total", "Design points evaluated",
+        ).inc()
+        registry.histogram(
+            "dse_design_eval_seconds",
+            "Wall time to evaluate one design point",
+        ).observe(time.perf_counter() - started)
+    return metrics
+
+
+def _evaluate_design(design, transactions, seed, vdd, bus_bits):
     netlist, report = _design_static(design)
     punits = period_units(report, design.microarch)
     period_s = punits * SECONDS_PER_DELAY_UNIT

@@ -122,53 +122,90 @@ class HookSet:
 
 
 def progress_printer(stream=None):
-    """A ready-made hook printing one line per finished job/stage."""
+    """A ready-made hook rendering one line per finished job/stage.
+
+    Lines go through the structured logger's human renderer to the
+    given stream (stderr by default), bypassing the level threshold:
+    installing this hook *is* the opt-in (``--engine-verbose``).
+    """
     import sys
 
-    out = stream or sys.stderr
+    from repro.obs.logging import render_human
 
     def hook(event, payload):
+        out = stream or sys.stderr
         if event == "job_done":
-            print(
-                f"[engine] {payload['label']}: {payload['status']} "
-                f"({payload['elapsed_s']:.2f}s, {payload['where']})",
-                file=out,
+            line = render_human(
+                "repro.engine", "info",
+                f"{payload['label']}: {payload['status']}",
+                {"elapsed_s": payload["elapsed_s"],
+                 "where": payload["where"]},
             )
         elif event == "stage_done":
-            print(
-                f"[engine] stage {payload['stage']}: "
-                f"{payload['jobs']} jobs, "
-                f"{payload['cache_hits']} cached, "
-                f"{payload['wall_s']:.2f}s",
-                file=out,
+            line = render_human(
+                "repro.engine", "info",
+                f"stage {payload['stage']} done",
+                {"jobs": payload["jobs"],
+                 "cached": payload["cache_hits"],
+                 "wall_s": payload["wall_s"]},
             )
         elif event == "degraded":
-            print(f"[engine] degraded to serial: {payload['reason']}",
-                  file=out)
+            line = render_human(
+                "repro.engine", "warning", "degraded to serial",
+                {"reason": payload["reason"]},
+            )
+        else:
+            return
+        out.write(line + "\n")
 
     return hook
 
 
-def persist_last_run(metrics, cache_root):
-    """Write the metrics snapshot next to the cache for ``engine stats``."""
+def persist_last_run(metrics, cache_root=None):
+    """Persist the metrics snapshot for ``repro engine stats``.
+
+    The authoritative copy goes to the observability state directory
+    (:mod:`repro.obs.state`), which exists whether or not caching is
+    on; when a cache root is given, a second copy lands there for
+    readers that address the snapshot by cache directory.
+    """
     from pathlib import Path
 
+    from repro.obs import state as obs_state
+
+    payload = dict(metrics.to_dict(), written=time.time())
+    obs_state.write_json(LAST_RUN_FILENAME, payload)
+    if cache_root is None:
+        return
     root = Path(cache_root)
     try:
         root.mkdir(parents=True, exist_ok=True)
-        payload = dict(metrics.to_dict(), written=time.time())
         with open(root / LAST_RUN_FILENAME, "w") as handle:
             json.dump(payload, handle, indent=2)
     except OSError:
         pass
 
 
-def load_last_run(cache_root):
+def load_last_run(cache_root=None):
+    """The latest persisted run metrics.
+
+    With a ``cache_root``, reads both the cache-rooted copy and the
+    state-directory copy and returns the newer; with none, reads the
+    state directory alone (the ``--no-cache`` case).
+    """
     from pathlib import Path
 
-    path = Path(cache_root) / LAST_RUN_FILENAME
-    try:
-        with open(path) as handle:
-            return json.load(handle)
-    except (OSError, json.JSONDecodeError):
+    from repro.obs import state as obs_state
+
+    candidates = [obs_state.read_json(LAST_RUN_FILENAME)]
+    if cache_root is not None:
+        path = Path(cache_root) / LAST_RUN_FILENAME
+        try:
+            with open(path) as handle:
+                candidates.append(json.load(handle))
+        except (OSError, json.JSONDecodeError):
+            pass
+    candidates = [c for c in candidates if c is not None]
+    if not candidates:
         return None
+    return max(candidates, key=lambda c: c.get("written", 0.0))

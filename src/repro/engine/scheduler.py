@@ -23,6 +23,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from math import ceil
 
+from repro import obs
 from repro.engine.cache import ResultCache, job_cache_key
 from repro.engine.job import Job
 from repro.engine.metrics import (
@@ -45,18 +46,26 @@ class EngineJobError(RuntimeError):
         self.cause = cause
 
 
-def _execute_chunk(payloads):
-    """Worker-side entry point: run a chunk of (fn, params, seed).
+def _execute_chunk(payloads, obs_ctx=None):
+    """Worker-side entry point: run a chunk of (fn, params, seed, label).
 
     Exceptions are flattened to strings here -- a raw exception object
     may itself fail to pickle on the way back, which would take the
     whole pool down instead of one job.
+
+    ``obs_ctx`` carries the parent's observability context
+    (:func:`repro.obs.worker_context`); when present, each job runs
+    under its own span and the worker's recorded spans and metric
+    deltas travel back with the results.
     """
+    if obs_ctx is not None:
+        obs.enter_worker(obs_ctx)
     results = []
-    for fn, params, seed in payloads:
+    for fn, params, seed, label in payloads:
         started = time.perf_counter()
         try:
-            value = fn(params, seed)
+            with obs.span("engine.job", label=label, where="pool"):
+                value = fn(params, seed)
         except Exception as exc:
             results.append((
                 "err",
@@ -65,7 +74,7 @@ def _execute_chunk(payloads):
             ))
         else:
             results.append(("ok", value, time.perf_counter() - started))
-    return results
+    return results, (obs.leave_worker() if obs_ctx is not None else None)
 
 
 def _default_pool_factory(workers):
@@ -108,6 +117,7 @@ class Engine:
         self.backoff = backoff
         self.chunk_size = chunk_size
         self.hooks = HookSet(hooks)
+        self.hooks.add(obs.engine_bridge())
         self.metrics = EngineMetrics(workers=self.jobs)
         self._pool_factory = pool_factory or _default_pool_factory
 
@@ -122,55 +132,62 @@ class Engine:
         self.metrics.jobs_submitted += len(jobs)
 
         results = [None] * len(jobs)
-        pending = []
-        keys = [None] * len(jobs)
-        for index, job in enumerate(jobs):
-            if self.cache is not None:
-                keys[index] = job_cache_key(job)
-                hit, value = self.cache.get(
-                    _fn_name(job), keys[index]
-                )
-                if hit:
-                    results[index] = value
-                    self.metrics.cache_hits += 1
-                    self.metrics.jobs_completed += 1
-                    stage_metrics.cache_hits += 1
-                    self.hooks.emit("job_done", {
-                        "label": job.label, "fn": _fn_name(job),
-                        "status": "cached", "attempts": 0,
-                        "elapsed_s": 0.0, "where": "cache",
-                    })
-                    continue
-                self.metrics.cache_misses += 1
-            pending.append(index)
-
-        if pending:
-            if self.jobs <= 1 or len(pending) == 1:
-                self._run_serial(jobs, pending, results)
-            else:
-                self._run_parallel(jobs, pending, results)
-            for index in pending:
+        with obs.span(f"engine.{stage}", jobs=len(jobs)):
+            pending = []
+            keys = [None] * len(jobs)
+            for index, job in enumerate(jobs):
                 if self.cache is not None:
-                    self.cache.put(
-                        _fn_name(jobs[index]), keys[index],
-                        results[index], meta={
-                            "label": jobs[index].label,
-                            "seed": (jobs[index].seed.token()
-                                     if jobs[index].seed else None),
-                        },
+                    keys[index] = job_cache_key(job)
+                    hit, value = self.cache.get(
+                        _fn_name(job), keys[index]
                     )
-            stage_metrics.computed = len(pending)
+                    if hit:
+                        results[index] = value
+                        self.metrics.cache_hits += 1
+                        self.metrics.jobs_completed += 1
+                        stage_metrics.cache_hits += 1
+                        self.hooks.emit("job_done", {
+                            "label": job.label, "fn": _fn_name(job),
+                            "status": "cached", "attempts": 0,
+                            "elapsed_s": 0.0, "where": "cache",
+                        })
+                        continue
+                    self.metrics.cache_misses += 1
+                pending.append(index)
 
-        stage_metrics.wall_s = time.perf_counter() - started
-        self.metrics.wall_s += stage_metrics.wall_s
-        self.metrics.stages.append(stage_metrics)
-        self.hooks.emit("stage_done", {
-            "stage": stage, "jobs": len(jobs),
-            "cache_hits": stage_metrics.cache_hits,
-            "wall_s": stage_metrics.wall_s,
-        })
-        if self.cache is not None:
-            persist_last_run(self.metrics, self.cache.root)
+            if pending:
+                if self.jobs <= 1 or len(pending) == 1:
+                    self._run_serial(jobs, pending, results)
+                else:
+                    self._run_parallel(jobs, pending, results)
+                for index in pending:
+                    if self.cache is not None:
+                        self.cache.put(
+                            _fn_name(jobs[index]), keys[index],
+                            results[index], meta={
+                                "label": jobs[index].label,
+                                "seed": (jobs[index].seed.token()
+                                         if jobs[index].seed else None),
+                            },
+                        )
+                stage_metrics.computed = len(pending)
+
+            stage_metrics.wall_s = time.perf_counter() - started
+            self.metrics.wall_s += stage_metrics.wall_s
+            self.metrics.stages.append(stage_metrics)
+            self.hooks.emit("stage_done", {
+                "stage": stage, "jobs": len(jobs),
+                "cache_hits": stage_metrics.cache_hits,
+                "wall_s": stage_metrics.wall_s,
+            })
+        # The last-run snapshot goes to the state directory no matter
+        # how (or whether) results were cached, so `repro engine stats`
+        # reflects --no-cache runs too; a copy lands next to the cache
+        # for backward compatibility with cache-rooted readers.
+        persist_last_run(
+            self.metrics,
+            self.cache.root if self.cache is not None else None,
+        )
         return results
 
     def run_one(self, job):
@@ -191,7 +208,9 @@ class Engine:
             attempt += 1
             started = time.perf_counter()
             try:
-                value = job.fn(dict(job.params), job.seed)
+                with obs.span("engine.job", label=job.label,
+                              where="serial"):
+                    value = job.fn(dict(job.params), job.seed)
             except Exception as exc:
                 last_error = f"{type(exc).__name__}: {exc}"
                 if attempt <= self.retries:
@@ -235,15 +254,19 @@ class Engine:
             self._run_serial(jobs, indices, results)
             return
 
+        obs_ctx = obs.worker_context()
         try:
             futures = []
             for chunk in chunks:
                 payload = [
-                    (jobs[i].fn, dict(jobs[i].params), jobs[i].seed)
+                    (jobs[i].fn, dict(jobs[i].params), jobs[i].seed,
+                     jobs[i].label)
                     for i in chunk
                 ]
+                submit_args = (payload, obs_ctx) if obs_ctx is not None \
+                    else (payload,)
                 futures.append((chunk, executor.submit(
-                    _execute_chunk, payload
+                    _execute_chunk, *submit_args
                 )))
             broken = False
             for position, (chunk, future) in enumerate(futures):
@@ -253,7 +276,10 @@ class Engine:
                 chunk_timeout = (self.timeout * len(chunk)
                                  if self.timeout else None)
                 try:
-                    outcomes = future.result(timeout=chunk_timeout)
+                    outcomes, obs_payload = future.result(
+                        timeout=chunk_timeout
+                    )
+                    obs.absorb(obs_payload)
                 except (BrokenProcessPool, FutureTimeoutError,
                         OSError) as exc:
                     self.metrics.worker_failures += 1

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.asm import assemble
 from repro.netlist.verify import run_cross_check
 
@@ -111,20 +112,30 @@ def fault_injection_study(netlist, isa, rng, faults=20,
     detected = 0
     details = []
     candidates = [g for g in netlist.gates if not g.sequential]
-    for _ in range(faults):
-        gate = candidates[int(rng.integers(0, len(candidates)))]
-        stuck = int(rng.integers(0, 2))
-        result = run_cross_check(
-            netlist, isa, program, inputs=inputs,
-            max_instructions=max_instructions,
-            fault=(gate.name, stuck),
-        )
-        caught = not result.passed
-        detected += caught
-        details.append(
-            f"{gate.name} stuck-at-{stuck}: "
-            f"{'DETECTED' if caught else 'missed'}"
-        )
+    with obs.span("fab.fault_injection", faults=faults):
+        for _ in range(faults):
+            gate = candidates[int(rng.integers(0, len(candidates)))]
+            stuck = int(rng.integers(0, 2))
+            result = run_cross_check(
+                netlist, isa, program, inputs=inputs,
+                max_instructions=max_instructions,
+                fault=(gate.name, stuck),
+            )
+            caught = not result.passed
+            detected += caught
+            details.append(
+                f"{gate.name} stuck-at-{stuck}: "
+                f"{'DETECTED' if caught else 'missed'}"
+            )
+    if obs.active():
+        registry = obs.registry()
+        registry.counter(
+            "fab_faults_injected_total", "Stuck-at faults injected",
+        ).inc(faults)
+        registry.counter(
+            "fab_faults_detected_total",
+            "Injected faults observed at the outputs",
+        ).inc(detected)
     return FaultStudyResult(
         injected=faults, detected=detected, details=details
     )
@@ -135,8 +146,9 @@ def toggle_coverage_study(netlist, isa, rng, instructions=2000):
     the Section 4.1 metric."""
     program = directed_program(isa)
     inputs = [int(rng.integers(0, 16)) for _ in range(4096)]
-    result = run_cross_check(
-        netlist, isa, program, inputs=inputs,
-        max_instructions=instructions,
-    )
+    with obs.span("fab.toggle_coverage", instructions=instructions):
+        result = run_cross_check(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=instructions,
+        )
     return result

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.engine import Job, engine_or_default, job_function, spawn_seeds
 from repro.fab.process import WaferProcess
 from repro.fab.wafer import Wafer
@@ -162,7 +163,36 @@ class FabricatedWafer:
                 current_ma=current_a * 1e3,
                 failure_mode=mode,
             ))
-        return WaferProbeResult(voltage=voltage, records=records)
+        result = WaferProbeResult(voltage=voltage, records=records)
+        if obs.active():
+            _fold_probe(result)
+        return result
+
+
+def _fold_probe(result):
+    """Per-wafer die pass/fail/timing counters, labelled by voltage."""
+    registry = obs.registry()
+    voltage = f"{result.voltage:g}"
+    probed = registry.counter(
+        "fab_dies_probed_total", "Dies probed, by test voltage",
+    )
+    passed = registry.counter(
+        "fab_dies_pass_total", "Functional dies, by test voltage",
+    )
+    failed = registry.counter(
+        "fab_die_failures_total",
+        "Non-functional dies by failure mode and test voltage",
+    )
+    probed.inc(len(result.records), voltage=voltage)
+    for record in result.records:
+        if record.functional:
+            passed.inc(voltage=voltage)
+        else:
+            failed.inc(mode=record.failure_mode or "unknown",
+                       voltage=voltage)
+    registry.counter(
+        "fab_wafers_probed_total", "Wafer probe passes, by voltage",
+    ).inc(voltage=voltage)
 
 
 def fabricate_wafer(netlist, process, rng, wafer=None, timing_report=None):
@@ -256,33 +286,38 @@ def _core_static(core):
 def wafer_yield_job(params, seed):
     """Engine job: fabricate one wafer of ``params['core']`` and probe
     it at every voltage, returning compact per-voltage buckets."""
-    netlist, report = _core_static(params["core"])
-    rng = seed.rng()
-    fabricated = fabricate_wafer(
-        netlist, params["process"], rng, timing_report=report
-    )
-    return {
-        voltage: _probe_bucket(fabricated.probe(voltage, rng))
-        for voltage in params["voltages"]
-    }
+    with obs.span("fab.wafer_yield", core=params["core"]):
+        netlist, report = _core_static(params["core"])
+        rng = seed.rng()
+        with obs.span("fab.fabricate", core=params["core"]):
+            fabricated = fabricate_wafer(
+                netlist, params["process"], rng, timing_report=report
+            )
+        buckets = {}
+        for voltage in params["voltages"]:
+            with obs.span("fab.probe", voltage=voltage):
+                buckets[voltage] = _probe_bucket(
+                    fabricated.probe(voltage, rng)
+                )
+        return buckets
 
 
 @job_function("fab.probed_wafer", version="1")
 def probed_wafer_job(params, seed):
     """Engine job: one fabricated wafer with its full probe records
     (the Figure 6/7 wafer maps need every die, not just the counts)."""
-    netlist, report = _core_static(params["core"])
-    rng = seed.rng()
-    fabricated = fabricate_wafer(
-        netlist, params["process"], rng, timing_report=report
-    )
-    return {
-        "fabricated": fabricated,
-        "probes": {
-            voltage: fabricated.probe(voltage, rng)
-            for voltage in params["voltages"]
-        },
-    }
+    with obs.span("fab.probed_wafer", core=params["core"]):
+        netlist, report = _core_static(params["core"])
+        rng = seed.rng()
+        with obs.span("fab.fabricate", core=params["core"]):
+            fabricated = fabricate_wafer(
+                netlist, params["process"], rng, timing_report=report
+            )
+        probes = {}
+        for voltage in params["voltages"]:
+            with obs.span("fab.probe", voltage=voltage):
+                probes[voltage] = fabricated.probe(voltage, rng)
+        return {"fabricated": fabricated, "probes": probes}
 
 
 def run_yield_study(netlist, process, rng=None, wafers=5,

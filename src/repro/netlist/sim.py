@@ -10,6 +10,7 @@ least once").
 
 from collections import deque
 
+from repro import obs
 from repro.netlist.core import Netlist
 
 
@@ -51,6 +52,11 @@ class GateLevelSimulator:
         self._order = self._levelize()
         self.toggles = {gate.name: 0 for gate in netlist.gates}
         self.cycles = 0
+        #: Local observability tallies (two integer adds per settle
+        #: pass -- cheap enough to keep unconditionally).  Folded into
+        #: the process-wide registry by :meth:`flush_obs`.
+        self.gate_evaluations = 0
+        self.settle_passes = 0
         #: Stuck-at faults: {gate name: forced output value}.  Applied
         #: during evaluation so the fault propagates downstream -- the
         #: basis of the Section 4.1 fault-detection validation.
@@ -119,6 +125,8 @@ class GateLevelSimulator:
 
     def _settle(self, count_toggles=True):
         faults = self.faults
+        self.settle_passes += 1
+        self.gate_evaluations += len(self._order)
         for gate in self._order:
             inputs = [self.values[net] for net in gate.inputs]
             new = _evaluate(gate.cell.function, inputs)
@@ -169,3 +177,26 @@ class GateLevelSimulator:
         toggled = sum(1 for count in self.toggles.values() if count)
         mean = sum(self.toggles.values()) / total
         return toggled / total, mean
+
+    def flush_obs(self):
+        """Fold (and reset) the local tallies into the metrics registry.
+
+        Called by completion points (e.g. the cross-check runner); safe
+        to call repeatedly, and a no-op when collection is off.
+        """
+        if not obs.active():
+            return
+        registry = obs.registry()
+        registry.counter(
+            "gate_evaluations_total",
+            "Individual gate evaluations in the gate-level simulator",
+        ).inc(self.gate_evaluations)
+        registry.counter(
+            "gate_settle_passes_total",
+            "Combinational settle passes",
+        ).inc(self.settle_passes)
+        registry.counter(
+            "gate_sim_cycles_total", "Gate-level clock cycles",
+        ).inc(self.cycles)
+        self.gate_evaluations = 0
+        self.settle_passes = 0

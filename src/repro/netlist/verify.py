@@ -106,6 +106,7 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
         if state.halted:
             break
 
+    gate_sim.flush_obs()
     toggled, mean = gate_sim.toggle_coverage()
     return CrossCheckResult(
         cycles=gate_sim.cycles,

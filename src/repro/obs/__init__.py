@@ -1,0 +1,311 @@
+"""``repro.obs`` -- tracing, metrics, and structured logging in one place.
+
+Three instruments, one switchboard:
+
+- :func:`get_logger` -- structured events with levels, rendered as
+  human lines (stderr) and/or JSONL (the state directory);
+- :func:`span` -- hierarchical wall/CPU timing that nests across the
+  engine's process-pool boundary and exports as a span tree or Chrome
+  ``trace_event`` JSON;
+- :func:`registry` -- counters/gauges/histograms with Prometheus-text
+  and JSONL exporters.
+
+Everything is **off by default** and costs one module-global check on
+the disabled path, so library users and the tier-1 tests pay nothing.
+The CLI turns collection on per run::
+
+    repro yield --profile --jobs 4     # span tree + metrics summary
+    repro obs summary | export | tail  # inspect the persisted run
+
+Library code guards its folds with :func:`active` and opens spans
+unconditionally (a disabled span is a no-op)::
+
+    from repro import obs
+
+    with obs.span("fab.wafer_yield", core=core):
+        ...
+        if obs.active():
+            obs.registry().counter("fab_dies_probed_total").inc(n)
+"""
+
+import time
+
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs import state as _state
+from repro.obs.logging import (  # noqa: F401
+    LEVELS,
+    Logger,
+    configure_logging,
+    current_level,
+    get_logger,
+    level_number,
+    render_log_records,
+    reset_logging,
+    tail_log,
+)
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    render_metrics_jsonl,
+    render_prometheus,
+)
+from repro.obs.spans import (  # noqa: F401
+    activate_worker,
+    adopt_spans,
+    collected_spans,
+    drain_spans,
+    render_tree,
+    span,
+    start_tracing,
+    stop_tracing,
+    to_chrome,
+    trace_context,
+    tracing_enabled,
+)
+from repro.obs.state import (  # noqa: F401
+    DEFAULT_STATE_DIRNAME,
+    STATE_DIR_ENV,
+    state_dir,
+)
+
+__all__ = [
+    "active", "activate_worker", "adopt_spans", "collected_spans",
+    "configure", "drain_spans", "engine_bridge", "export_text",
+    "get_logger", "load_snapshot", "persist_snapshot", "registry",
+    "render_metrics_jsonl", "render_prometheus", "render_tree", "reset",
+    "span", "start_tracing", "state_dir", "stop_tracing", "summary",
+    "to_chrome", "trace_context", "tracing_enabled",
+]
+
+#: Process-wide metrics collection flag (spans have their own in
+#: :mod:`repro.obs.spans`); ``active()`` is the library's guard.
+_metrics_active = False
+_registry = _metrics.Registry()
+_state_root = None   # None -> $REPRO_STATE_DIR / .repro-state
+
+
+def active():
+    """True when metric folds should run (the disabled fast path)."""
+    return _metrics_active
+
+
+def registry():
+    """The process-wide metrics :class:`~repro.obs.metrics.Registry`."""
+    return _registry
+
+
+def configure(metrics=None, trace=None, log_level=None, quiet=None,
+              log_stream="unset", state_root="unset", persist_log=None):
+    """Turn instruments on/off (partial updates, like a switchboard).
+
+    ``metrics``/``trace`` enable the registry folds and span
+    recording; ``log_level`` ("debug".."error") sets the logging
+    threshold and ``quiet=True`` forces it to "error"; ``persist_log``
+    mirrors log events into ``<state>/log.jsonl``.
+    """
+    global _metrics_active, _state_root
+    if state_root != "unset":
+        _state_root = state_root
+    if metrics is not None:
+        _metrics_active = bool(metrics)
+    if trace is not None:
+        if trace:
+            _spans.start_tracing()
+        else:
+            _spans.stop_tracing()
+    level = "error" if quiet else log_level
+    configure_logging(
+        level=level, stream=log_stream,
+        jsonl_root=(_resolved_root() if persist_log else None)
+        if persist_log is not None else "unset",
+    )
+
+
+def reset():
+    """Back to the all-off defaults; clears collected spans/metrics."""
+    global _metrics_active, _state_root
+    _metrics_active = False
+    _state_root = None
+    _registry.reset()
+    _spans.reset_spans()
+    reset_logging()
+
+
+def _resolved_root():
+    return str(_state.state_dir(_state_root))
+
+
+# ----------------------------------------------------------------------
+# Worker-process transport (used by the engine scheduler).
+# ----------------------------------------------------------------------
+
+def worker_context():
+    """What a pool worker needs to continue this process's collection,
+    or ``None`` when every instrument is off (ships nothing)."""
+    if not (_metrics_active or _spans.tracing_enabled()):
+        return None
+    return {
+        "metrics": _metrics_active,
+        "trace": _spans.trace_context(),
+    }
+
+
+def enter_worker(context):
+    """Adopt a shipped :func:`worker_context` inside a worker."""
+    global _metrics_active
+    _metrics_active = bool(context.get("metrics"))
+    _registry.reset()
+    if context.get("trace") is not None:
+        _spans.activate_worker(context["trace"])
+    else:
+        _spans.stop_tracing()
+
+
+def leave_worker():
+    """Collect everything recorded since :func:`enter_worker`."""
+    payload = {
+        "spans": _spans.drain_spans(),
+        "metrics": _registry.snapshot() if _metrics_active else None,
+    }
+    _registry.reset()
+    return payload
+
+
+def absorb(payload):
+    """Merge a worker's :func:`leave_worker` payload into this process."""
+    if not payload:
+        return
+    _spans.adopt_spans(payload.get("spans"))
+    if payload.get("metrics"):
+        _registry.merge(payload["metrics"])
+
+
+def engine_bridge():
+    from repro.obs.bridge import engine_event
+
+    return engine_event
+
+
+# ----------------------------------------------------------------------
+# Summaries, persistence, exports.
+# ----------------------------------------------------------------------
+
+def _counter_total(snapshot, name):
+    return sum(
+        entry["value"]
+        for entry in snapshot.get(name, {}).get("values", [])
+    )
+
+
+def _counter_by_label(snapshot, name, label):
+    by = {}
+    for entry in snapshot.get(name, {}).get("values", []):
+        key = entry.get("labels", {}).get(label, "")
+        by[key] = by.get(key, 0) + entry["value"]
+    return by
+
+
+def summary(snapshot=None):
+    """Human metrics summary (the ``--profile`` / ``obs summary`` view)."""
+    snapshot = snapshot if snapshot is not None else _registry.snapshot()
+    instructions = _counter_total(snapshot, "sim_instructions_total")
+    gate_evals = _counter_total(snapshot, "gate_evaluations_total")
+    probed = _counter_total(snapshot, "fab_dies_probed_total")
+    passed = _counter_total(snapshot, "fab_dies_pass_total")
+    failures = _counter_by_label(
+        snapshot, "fab_die_failures_total", "mode"
+    )
+    hits = _counter_total(snapshot, "engine_cache_hits_total")
+    misses = _counter_total(snapshot, "engine_cache_misses_total")
+    looked_up = hits + misses
+    lines = [
+        f"instructions retired: {instructions:,}",
+        f"gate evaluations:     {gate_evals:,}",
+        f"dies tested:          {probed:,}"
+        + (f" ({passed:,} pass"
+           + "".join(f", {count:,} fail {mode}"
+                     for mode, count in sorted(failures.items()))
+           + ")" if probed else ""),
+        f"engine cache:         {hits}/{looked_up} hits"
+        + (f" ({100 * hits / looked_up:.0f}% hit rate)"
+           if looked_up else ""),
+    ]
+    designs = _counter_total(snapshot, "dse_designs_evaluated_total")
+    if designs:
+        lines.append(f"designs evaluated:    {designs:,}")
+    shown = {
+        "sim_instructions_total", "gate_evaluations_total",
+        "fab_dies_probed_total", "fab_dies_pass_total",
+        "fab_die_failures_total", "engine_cache_hits_total",
+        "engine_cache_misses_total", "dse_designs_evaluated_total",
+    }
+    others = [
+        name for name, data in sorted(snapshot.items())
+        if name not in shown and data.get("kind") != "histogram"
+    ]
+    for name in others:
+        lines.append(f"{name}: {_counter_total(snapshot, name):,}")
+    for name, data in sorted(snapshot.items()):
+        if data.get("kind") != "histogram":
+            continue
+        for entry in data.get("values", []):
+            count = entry.get("count", 0)
+            if not count:
+                continue
+            mean = entry.get("sum", 0.0) / count
+            label = "".join(
+                f" {k}={v}"
+                for k, v in sorted(entry.get("labels", {}).items())
+            )
+            lines.append(
+                f"{name}{label}: n={count} mean={mean:.4f}s "
+                f"total={entry.get('sum', 0.0):.3f}s"
+            )
+    return "\n".join(lines)
+
+
+def persist_snapshot(root=None):
+    """Write the registry snapshot and collected spans to the state
+    directory (what ``repro obs summary|export`` reads back)."""
+    root = root if root is not None else _state_root
+    snapshot = _registry.snapshot()
+    _state.write_json(
+        _state.METRICS_FILE,
+        {"written": time.time(), "metrics": snapshot},
+        root=root,
+    )
+    _state.write_jsonl(
+        _state.SPANS_FILE, _spans.collected_spans(), root=root
+    )
+    return snapshot
+
+
+def load_snapshot(root=None):
+    """(metrics snapshot, span records) persisted by the last run."""
+    root = root if root is not None else _state_root
+    document = _state.read_json(_state.METRICS_FILE, root=root) or {}
+    spans = _state.read_jsonl(_state.SPANS_FILE, root=root)
+    return document.get("metrics", {}), spans
+
+
+def export_text(format, snapshot=None, spans=None):
+    """Render metrics/spans in one of the supported export formats."""
+    if snapshot is None and spans is None:
+        snapshot, spans = load_snapshot()
+    snapshot = snapshot or {}
+    spans = spans or []
+    if format == "prometheus":
+        return render_prometheus(snapshot)
+    if format == "jsonl":
+        return render_metrics_jsonl(snapshot)
+    if format == "chrome":
+        import json
+
+        return json.dumps(to_chrome(spans), indent=2)
+    raise ValueError(
+        f"unknown export format {format!r}; "
+        "choose prometheus, jsonl, or chrome"
+    )

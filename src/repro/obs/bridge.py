@@ -1,0 +1,73 @@
+"""Folding the engine's event stream into the observability layer.
+
+The scheduler already narrates itself through hook events
+(``job_done`` / ``stage_done`` / ``degraded``).  This module is the
+one hook every :class:`~repro.engine.scheduler.Engine` installs: it
+forwards the stream to the structured logger (debug for jobs, info for
+stages, warning for degradation) and -- when metrics collection is on
+-- folds the same events into the registry, so the engine's private
+``EngineMetrics`` and the process-wide registry can never disagree
+about what ran.
+"""
+
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.engine")
+
+
+def engine_event(event, payload):
+    """The always-installed engine hook (logging + metrics fold)."""
+    from repro import obs
+
+    if event == "job_done":
+        _log.debug(
+            f"{payload['label']}: {payload['status']}",
+            elapsed_s=payload.get("elapsed_s", 0.0),
+            where=payload.get("where", "?"),
+            attempts=payload.get("attempts", 0),
+        )
+        if obs.active():
+            registry = obs.registry()
+            registry.counter(
+                "engine_jobs_total",
+                "Engine jobs by completion status and venue",
+            ).inc(status=payload["status"],
+                  where=payload.get("where", "?"))
+            if payload["status"] == "cached":
+                registry.counter(
+                    "engine_cache_hits_total",
+                    "Engine jobs answered from the result cache",
+                ).inc()
+            elif payload["status"] == "completed":
+                registry.counter(
+                    "engine_cache_misses_total",
+                    "Engine jobs actually computed",
+                ).inc()
+                registry.histogram(
+                    "engine_job_seconds",
+                    "Per-job compute wall time",
+                ).observe(payload.get("elapsed_s", 0.0))
+    elif event == "stage_done":
+        _log.info(
+            f"stage {payload['stage']} done",
+            jobs=payload.get("jobs", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            wall_s=payload.get("wall_s", 0.0),
+        )
+        if obs.active():
+            registry = obs.registry()
+            registry.counter(
+                "engine_stages_total", "Engine stages run",
+            ).inc(stage=payload.get("stage", "?"))
+            registry.histogram(
+                "engine_stage_seconds", "Per-stage wall time",
+            ).observe(payload.get("wall_s", 0.0))
+    elif event == "degraded":
+        _log.warning(
+            "degraded to serial", reason=payload.get("reason", "?")
+        )
+        if obs.active():
+            obs.registry().counter(
+                "engine_degraded_total",
+                "Runs degraded from the process pool to serial",
+            ).inc()

@@ -1,0 +1,183 @@
+"""Structured logging: one event, two renderings.
+
+A log call names an event and attaches key=value fields::
+
+    log = get_logger("repro.engine")
+    log.info("stage done", stage="dse", jobs=27, wall_s=1.8)
+
+Below the configured threshold the call is a single integer compare.
+At or above it, the event renders twice:
+
+- a *human* line on the configured stream (stderr by default) --
+  ``[repro.engine] stage done  stage=dse jobs=27 wall_s=1.8``;
+- a *JSONL* record appended to the state directory's ``log.jsonl``
+  (when a sink is configured), for ``repro obs tail`` and machines.
+
+There is no handler graph, no logger hierarchy, no formatter registry:
+the experiment code needs levels, fields, and two renderers, so that is
+all there is.
+"""
+
+import json
+import sys
+import time
+
+from repro.obs import state as _state
+
+#: Numeric severity per level name (stdlib-compatible values).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {number: name for name, number in LEVELS.items()}
+
+#: Default threshold: library chatter is invisible unless asked for.
+DEFAULT_LEVEL = LEVELS["warning"]
+
+
+class _Config:
+    __slots__ = ("level", "stream", "jsonl_root")
+
+    def __init__(self):
+        self.level = DEFAULT_LEVEL
+        self.stream = None          # None -> sys.stderr at emit time
+        self.jsonl_root = None      # state root for log.jsonl, or None
+
+
+_config = _Config()
+
+
+def level_number(level):
+    """Coerce a level name or number to its numeric severity."""
+    if isinstance(level, str):
+        try:
+            return LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+            ) from None
+    return int(level)
+
+
+def configure_logging(level=None, stream="unset", jsonl_root="unset"):
+    """Update the process-wide logging configuration (partial updates)."""
+    if level is not None:
+        _config.level = level_number(level)
+    if stream != "unset":
+        _config.stream = stream
+    if jsonl_root != "unset":
+        _config.jsonl_root = jsonl_root
+
+
+def reset_logging():
+    _config.level = DEFAULT_LEVEL
+    _config.stream = None
+    _config.jsonl_root = None
+
+
+def current_level():
+    return _config.level
+
+
+def render_human(name, level, message, fields):
+    """The human line for one event (no trailing newline)."""
+    tail = "".join(
+        f" {key}={_scalar(value)}" for key, value in fields.items()
+    )
+    prefix = "" if level == "info" else f"{level}: "
+    return f"[{name}] {prefix}{message}{tail}"
+
+
+def _scalar(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _emit(name, number, message, fields, force=False):
+    if number < _config.level and not force:
+        return
+    level = _LEVEL_NAMES.get(number, str(number))
+    stream = _config.stream or sys.stderr
+    try:
+        stream.write(render_human(name, level, message, fields) + "\n")
+    except (OSError, ValueError):
+        pass
+    if _config.jsonl_root is not None:
+        record = {"ts": time.time(), "level": level, "logger": name,
+                  "event": message}
+        for key, value in fields.items():
+            record[key] = value if isinstance(
+                value, (bool, int, float, str, type(None))
+            ) else str(value)
+        _state.append_jsonl(_state.LOG_FILE, record,
+                            root=_config.jsonl_root)
+
+
+class Logger:
+    """A named emitter; cheap to construct, safe to share."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def log(self, level, message, **fields):
+        number = level_number(level)
+        if number < _config.level:
+            return
+        _emit(self.name, number, message, fields)
+
+    def debug(self, message, **fields):
+        if 10 >= _config.level:
+            _emit(self.name, 10, message, fields)
+
+    def info(self, message, **fields):
+        if 20 >= _config.level:
+            _emit(self.name, 20, message, fields)
+
+    def warning(self, message, **fields):
+        if 30 >= _config.level:
+            _emit(self.name, 30, message, fields)
+
+    def error(self, message, **fields):
+        if 40 >= _config.level:
+            _emit(self.name, 40, message, fields)
+
+    def force(self, message, **fields):
+        """Emit regardless of threshold (opt-in verbose printers)."""
+        _emit(self.name, 20, message, fields, force=True)
+
+
+_loggers = {}
+
+
+def get_logger(name):
+    """The shared :class:`Logger` for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger
+
+
+def tail_log(count=20, root=None):
+    """The last ``count`` structured log records (for ``repro obs tail``)."""
+    return _state.read_jsonl(_state.LOG_FILE, root=root, last=count)
+
+
+def render_log_records(records):
+    """Human rendering of persisted log records, one line each."""
+    lines = []
+    for record in records:
+        fields = {
+            key: value for key, value in record.items()
+            if key not in ("ts", "level", "logger", "event")
+        }
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.get("ts", 0))
+        )
+        lines.append(
+            f"{stamp} "
+            + render_human(
+                record.get("logger", "?"), record.get("level", "info"),
+                record.get("event", ""), fields,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""The metrics registry: counters, gauges, histograms.
+
+Instruments are named, optionally labelled, and process-local; worker
+processes run their own registry and the engine merges the deltas back
+(see :func:`Registry.merge`), so a parallel run's totals equal the
+serial run's.
+
+Snapshots are plain dicts -- everything downstream (the Prometheus and
+JSONL renderers, persistence, merging) operates on snapshots, so a
+persisted run exports exactly like a live one.
+"""
+
+import json
+import math
+
+#: Default histogram bucket upper bounds, seconds-flavoured log scale.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def _label_dict(key):
+    return dict(key)
+
+
+class Counter:
+    """A monotonically increasing total, optionally labelled."""
+
+    __slots__ = ("name", "help", "_values")
+    kind = "counter"
+
+    def __init__(self, name, help=""):
+        self.name = name
+        self.help = help
+        self._values = {}
+
+    def inc(self, amount=1, **labels):
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels):
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self):
+        return sum(self._values.values())
+
+    def snapshot(self):
+        return {
+            "kind": self.kind, "help": self.help,
+            "values": [
+                {"labels": _label_dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ],
+        }
+
+
+class Gauge(Counter):
+    """A point-in-time value; ``set`` replaces, ``inc`` still adds."""
+
+    __slots__ = ()
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        self._values[_label_key(labels)] = value
+
+
+class Histogram:
+    """Bucketed observations with sum and count, optionally labelled."""
+
+    __slots__ = ("name", "help", "buckets", "_series")
+    kind = "histogram"
+
+    def __init__(self, name, help="", buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(buckets)
+        self._series = {}
+
+    def _cell(self, labels):
+        key = _label_key(labels)
+        cell = self._series.get(key)
+        if cell is None:
+            cell = self._series[key] = {
+                "counts": [0] * (len(self.buckets) + 1),
+                "sum": 0.0, "count": 0,
+            }
+        return cell
+
+    def observe(self, value, **labels):
+        cell = self._cell(labels)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell["counts"][index] += 1
+                break
+        else:
+            cell["counts"][-1] += 1
+        cell["sum"] += value
+        cell["count"] += 1
+
+    def count(self, **labels):
+        return self._series.get(_label_key(labels), {}).get("count", 0)
+
+    def mean(self, **labels):
+        cell = self._series.get(_label_key(labels))
+        if not cell or not cell["count"]:
+            return 0.0
+        return cell["sum"] / cell["count"]
+
+    def snapshot(self):
+        return {
+            "kind": self.kind, "help": self.help,
+            "buckets": list(self.buckets),
+            "values": [
+                {"labels": _label_dict(key), "counts": cell["counts"],
+                 "sum": cell["sum"], "count": cell["count"]}
+                for key, cell in sorted(self._series.items())
+            ],
+        }
+
+
+class Registry:
+    """A namespace of instruments, snapshot-able and merge-able."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, cls, name, help, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help=help, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name, help=""):
+        return self._get(Counter, name, help)
+
+    def gauge(self, name, help=""):
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def names(self):
+        return sorted(self._instruments)
+
+    def reset(self):
+        self._instruments.clear()
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self):
+        """{metric name: instrument snapshot} for every instrument."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def merge(self, snapshot):
+        """Fold a (worker's) snapshot into this registry.
+
+        Counters and histogram cells add; gauges take the incoming
+        value (last write wins).
+        """
+        for name, data in (snapshot or {}).items():
+            kind = data.get("kind", "counter")
+            if kind == "histogram":
+                histogram = self.histogram(
+                    name, help=data.get("help", ""),
+                    buckets=tuple(data.get("buckets", DEFAULT_BUCKETS)),
+                )
+                for entry in data.get("values", []):
+                    cell = histogram._cell(entry.get("labels", {}))
+                    counts = entry.get("counts", [])
+                    if len(counts) == len(cell["counts"]):
+                        cell["counts"] = [
+                            a + b for a, b in zip(cell["counts"], counts)
+                        ]
+                    cell["sum"] += entry.get("sum", 0.0)
+                    cell["count"] += entry.get("count", 0)
+                continue
+            if kind == "gauge":
+                gauge = self.gauge(name, help=data.get("help", ""))
+                for entry in data.get("values", []):
+                    gauge.set(entry["value"], **entry.get("labels", {}))
+                continue
+            counter = self.counter(name, help=data.get("help", ""))
+            for entry in data.get("values", []):
+                counter.inc(entry["value"], **entry.get("labels", {}))
+
+
+# ----------------------------------------------------------------------
+# Renderers (operate on snapshots, so persisted == live).
+# ----------------------------------------------------------------------
+
+def _prom_labels(labels):
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_prom_escape(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_escape(value):
+    return str(value).replace("\\", r"\\").replace('"', r'\"') \
+        .replace("\n", r"\n")
+
+
+def _prom_number(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshot):
+    """Prometheus text exposition format (0.0.4) of a snapshot."""
+    lines = []
+    for name, data in sorted((snapshot or {}).items()):
+        kind = data.get("kind", "counter")
+        if data.get("help"):
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            buckets = data.get("buckets", [])
+            for entry in data.get("values", []):
+                labels = entry.get("labels", {})
+                cumulative = 0
+                for bound, count in zip(buckets, entry.get("counts", [])):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(dict(labels, le=_prom_number(float(bound))))}"
+                        f" {cumulative}"
+                    )
+                cumulative += entry.get("counts", [0])[-1] \
+                    if entry.get("counts") else 0
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(dict(labels, le='+Inf'))} {cumulative}"
+                )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} "
+                    f"{_prom_number(entry.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} "
+                    f"{entry.get('count', 0)}"
+                )
+            continue
+        for entry in data.get("values", []):
+            lines.append(
+                f"{name}{_prom_labels(entry.get('labels', {}))} "
+                f"{_prom_number(entry['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_jsonl(snapshot):
+    """One JSON object per metric sample."""
+    lines = []
+    for name, data in sorted((snapshot or {}).items()):
+        kind = data.get("kind", "counter")
+        for entry in data.get("values", []):
+            record = {"metric": name, "kind": kind,
+                      "labels": entry.get("labels", {})}
+            if kind == "histogram":
+                record.update(
+                    count=entry.get("count", 0),
+                    sum=entry.get("sum", 0.0),
+                    buckets=data.get("buckets", []),
+                    counts=entry.get("counts", []),
+                )
+            else:
+                record["value"] = entry["value"]
+            lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,110 @@
+"""The observability state directory.
+
+Snapshots that must survive the process -- the latest engine-run
+metrics, the exported span stream, the metrics registry dump, and the
+structured log -- live in a small state directory *independent of the
+result cache*, so ``repro obs``/``repro engine stats`` stay truthful
+even for ``--no-cache`` runs (the cache can be cleared or bypassed at
+any time; the record of what last ran should not go with it).
+
+Layout (default root: ``$REPRO_STATE_DIR`` or ``.repro-state``)::
+
+    <root>/last_run.json    latest engine-run metrics (``engine stats``)
+    <root>/metrics.json     latest metrics-registry snapshot
+    <root>/spans.jsonl      latest run's finished spans, one per line
+    <root>/log.jsonl        structured log records, appended across runs
+
+Every writer here swallows ``OSError``: observability must never take
+an experiment down with it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+#: Environment override for the state root directory.
+STATE_DIR_ENV = "REPRO_STATE_DIR"
+#: Project-local default state root.
+DEFAULT_STATE_DIRNAME = ".repro-state"
+
+LAST_RUN_FILE = "last_run.json"
+METRICS_FILE = "metrics.json"
+SPANS_FILE = "spans.jsonl"
+LOG_FILE = "log.jsonl"
+
+
+def state_dir(root=None):
+    """The state root as a :class:`~pathlib.Path` (not created yet)."""
+    return Path(root or os.environ.get(STATE_DIR_ENV)
+                or DEFAULT_STATE_DIRNAME)
+
+
+def write_json(name, payload, root=None):
+    """Atomically write one JSON document; returns True on success."""
+    directory = state_dir(root)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f"{name}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        os.replace(tmp, directory / name)
+    except OSError:
+        return False
+    return True
+
+
+def read_json(name, root=None):
+    """The parsed document, or None when absent/corrupt."""
+    try:
+        with open(state_dir(root) / name) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_jsonl(name, records, root=None):
+    """Replace a JSONL file with ``records`` (one object per line)."""
+    directory = state_dir(root)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f"{name}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, default=str) + "\n")
+        os.replace(tmp, directory / name)
+    except OSError:
+        return False
+    return True
+
+
+def append_jsonl(name, record, root=None):
+    """Append one record to a JSONL file."""
+    directory = state_dir(root)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / name, "a") as handle:
+            handle.write(json.dumps(record, default=str) + "\n")
+    except OSError:
+        return False
+    return True
+
+
+def read_jsonl(name, root=None, last=None):
+    """All (or the ``last`` N) parsed records of a JSONL file."""
+    try:
+        with open(state_dir(root) / name) as handle:
+            lines = handle.readlines()
+    except OSError:
+        return []
+    if last is not None:
+        lines = lines[-last:]
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records

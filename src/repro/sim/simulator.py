@@ -17,6 +17,7 @@ ISAs' explicit ``halt``, on input-stream exhaustion, or at ``max_cycles``.
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.isa.model import InstrClass
 from repro.sim.memory import ProgramMemory
 from repro.sim.mmu import Mmu
@@ -178,6 +179,8 @@ class Simulator:
             self.stats.page_switches = self.mmu.page_switches
         self.stats.io_reads = self.state.io_reads
         self.stats.io_writes = self.state.io_writes
+        if obs.active():
+            _fold_exec_stats(self.stats, reason)
         return RunResult(
             stats=self.stats,
             halted=self.state.halted,
@@ -189,6 +192,40 @@ class Simulator:
         self.stats = ExecStats()
         if self.mmu is not None:
             self.mmu.reset()
+
+
+def _fold_exec_stats(stats, reason):
+    """Fold one finished run's statistics into the metrics registry.
+
+    Stats accumulate locally during the (hot) fetch/execute loop; only
+    this completion-time fold touches the registry, so a disabled run
+    costs one boolean check.
+    """
+    registry = obs.registry()
+    retired = registry.counter(
+        "sim_instructions_total",
+        "Retired instructions by mnemonic",
+    )
+    for mnemonic, count in stats.by_mnemonic.items():
+        retired.inc(count, mnemonic=mnemonic)
+    registry.counter(
+        "sim_taken_branches_total", "Taken branches",
+    ).inc(stats.taken_branches)
+    registry.counter(
+        "sim_fetched_bytes_total", "Program bytes fetched",
+    ).inc(stats.fetched_bytes)
+    registry.counter(
+        "sim_page_switches_total", "MMU page switches",
+    ).inc(stats.page_switches)
+    registry.counter(
+        "sim_io_total", "Architectural IO operations by direction",
+    ).inc(stats.io_reads, direction="read")
+    registry.counter(
+        "sim_io_total", "Architectural IO operations by direction",
+    ).inc(stats.io_writes, direction="write")
+    registry.counter(
+        "sim_runs_total", "Simulator runs by completion reason",
+    ).inc(reason=reason)
 
 
 def run_program(program, isa=None, inputs=None, max_cycles=1_000_000,

@@ -7,7 +7,8 @@ worked examples; the formatter mirrors the waveform-style presentation
 of the paper's Figure 5c.
 """
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Tuple
 
 from repro.sim.simulator import Simulator
@@ -24,6 +25,16 @@ class TraceEntry:
     mem: Tuple[int, ...]
     size: int
     oport: Optional[int]  # value written this step, if any
+
+    def to_record(self):
+        """Plain JSON-serializable dict form of this entry."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record):
+        fields = dict(record)
+        fields["mem"] = tuple(fields["mem"])
+        return cls(**fields)
 
     def __str__(self):
         output = f" -> OPORT={self.oport:#x}" if self.oport is not None \
@@ -80,6 +91,17 @@ class Tracer:
             entries = entries[:count]
         return "\n".join(str(entry) for entry in entries)
 
+    def to_records(self):
+        """All recorded entries as JSON-serializable dicts."""
+        return [entry.to_record() for entry in self.entries]
+
+    def to_jsonl(self):
+        """The trace window as JSON Lines, one entry per line."""
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.to_records()
+        )
+
     def taken_branch_targets(self):
         """PCs reached by taken branches -- handy for coverage checks."""
         targets = []
@@ -91,6 +113,19 @@ class Tracer:
                 targets.append(entry.pc)
             previous = entry
         return targets
+
+
+def entries_from_jsonl(text):
+    """Parse a JSON Lines trace back into :class:`TraceEntry` objects.
+
+    Inverse of :meth:`Tracer.to_jsonl`; blank lines are ignored so a
+    trailing newline (or hand-edited file) round-trips cleanly.
+    """
+    return [
+        TraceEntry.from_record(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
 
 
 def trace_program(program, isa=None, inputs=None, max_cycles=100_000,

@@ -1,0 +1,416 @@
+"""The observability layer: logging, metrics, spans, transport, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine import Engine, Job, job_function, load_last_run
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(tmp_path, monkeypatch):
+    """Every test gets an isolated state dir and an all-off switchboard."""
+    monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path / "state"))
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Module-level job functions (worker processes import them by reference).
+# ----------------------------------------------------------------------
+
+@job_function("test.obs_instrumented", version="1")
+def obs_instrumented_job(params, seed):
+    with obs.span("t.inner", item=params["item"]):
+        if obs.active():
+            obs.registry().counter("test_obs_jobs_total").inc()
+    return params["item"]
+
+
+@job_function("test.obs_plain", version="1")
+def obs_plain_job(params, seed):
+    return params["item"] * 2
+
+
+# ----------------------------------------------------------------------
+# Logging
+# ----------------------------------------------------------------------
+
+class TestLogging:
+    def test_default_threshold_hides_info(self):
+        stream = io.StringIO()
+        obs.configure(log_stream=stream)
+        log = obs.get_logger("t")
+        log.info("quiet by default")
+        log.warning("but warnings show")
+        output = stream.getvalue()
+        assert "quiet by default" not in output
+        assert "but warnings show" in output
+
+    def test_debug_level_opens_the_gate(self):
+        stream = io.StringIO()
+        obs.configure(log_level="debug", log_stream=stream)
+        obs.get_logger("t").debug("fine detail", n=3)
+        assert "[t] debug: fine detail n=3" in stream.getvalue()
+
+    def test_quiet_forces_error_threshold(self):
+        stream = io.StringIO()
+        obs.configure(quiet=True, log_stream=stream)
+        log = obs.get_logger("t")
+        log.warning("suppressed")
+        log.error("still visible")
+        output = stream.getvalue()
+        assert "suppressed" not in output
+        assert "still visible" in output
+
+    def test_info_renders_without_level_prefix(self):
+        line = obs_logging.render_human("eng", "info", "stage done",
+                                        {"jobs": 2})
+        assert line == "[eng] stage done jobs=2"
+        warn = obs_logging.render_human("eng", "warning", "careful", {})
+        assert warn == "[eng] warning: careful"
+
+    def test_force_bypasses_threshold(self):
+        stream = io.StringIO()
+        obs.configure(log_stream=stream)   # threshold still warning
+        obs.get_logger("t").force("progress line")
+        assert "progress line" in stream.getvalue()
+
+    def test_jsonl_sink_and_tail(self, tmp_path):
+        stream = io.StringIO()
+        obs.configure(log_level="info", log_stream=stream,
+                      persist_log=True)
+        log = obs.get_logger("t")
+        for index in range(5):
+            log.info("event", index=index)
+        records = obs_logging.tail_log(count=3)
+        assert [record["index"] for record in records] == [2, 3, 4]
+        assert all(record["event"] == "event" for record in records)
+        rendered = obs_logging.render_log_records(records)
+        assert "[t] event index=4" in rendered
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_logging.level_number("chatty")
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_labels_and_total(self):
+        counter = obs_metrics.Counter("hits")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 2
+        assert counter.value(kind="b") == 1
+        assert counter.total() == 3
+
+    def test_gauge_set_replaces(self):
+        gauge = obs_metrics.Gauge("level")
+        gauge.set(5)
+        gauge.set(3)
+        assert gauge.value() == 3
+
+    def test_histogram_buckets_and_overflow(self):
+        histogram = obs_metrics.Histogram("lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(100.0)       # beyond the last bound
+        cell = histogram.snapshot()["values"][0]
+        assert cell["counts"] == [1, 1, 1]
+        assert cell["count"] == 3
+        assert histogram.mean() == pytest.approx(100.55 / 3)
+
+    def test_registry_rejects_kind_change(self):
+        registry = obs_metrics.Registry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("x")
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = obs_metrics.Registry()
+        a.counter("jobs").inc(2, status="ok")
+        a.histogram("secs", buckets=(1.0,)).observe(0.5)
+        b = obs_metrics.Registry()
+        b.counter("jobs").inc(3, status="ok")
+        b.histogram("secs", buckets=(1.0,)).observe(2.0)
+        b.gauge("depth").set(7)
+        a.merge(b.snapshot())
+        assert a.counter("jobs").value(status="ok") == 5
+        assert a.histogram("secs").count() == 2
+        assert a.gauge("depth").value() == 7
+
+    def test_prometheus_rendering(self):
+        registry = obs_metrics.Registry()
+        registry.counter("jobs_total", help="Jobs run").inc(4, status="ok")
+        registry.histogram("secs", buckets=(0.5, 1.0)).observe(0.7)
+        text = obs_metrics.render_prometheus(registry.snapshot())
+        assert "# HELP jobs_total Jobs run" in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{status="ok"} 4' in text
+        assert 'secs_bucket{le="0.5"} 0' in text
+        assert 'secs_bucket{le="1.0"} 1' in text
+        assert 'secs_bucket{le="+Inf"} 1' in text
+        assert "secs_count 1" in text
+        assert text.endswith("\n")
+
+    def test_jsonl_rendering_parses(self):
+        registry = obs_metrics.Registry()
+        registry.counter("jobs").inc(2, where="pool")
+        registry.histogram("secs", buckets=(1.0,)).observe(0.2)
+        lines = obs_metrics.render_metrics_jsonl(
+            registry.snapshot()
+        ).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {record["metric"] for record in records} == {"jobs", "secs"}
+        jobs = next(r for r in records if r["metric"] == "jobs")
+        assert jobs["value"] == 2 and jobs["labels"] == {"where": "pool"}
+
+    def test_facade_merge_via_absorb(self):
+        obs.configure(metrics=True)
+        obs.registry().counter("n").inc()
+        obs.absorb({"metrics": {"n": {
+            "kind": "counter", "help": "",
+            "values": [{"labels": {}, "value": 4}],
+        }}})
+        assert obs.registry().counter("n").total() == 5
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_span_records_nothing(self):
+        with obs.span("never", x=1) as handle:
+            handle.set(y=2)
+        assert obs.collected_spans() == []
+
+    def test_nesting_and_attributes(self):
+        obs.configure(trace=True)
+        with obs.span("outer"):
+            with obs.span("inner", item=3):
+                pass
+        records = obs.collected_spans()
+        assert [record["name"] for record in records] == \
+            ["inner", "outer"]           # close order
+        inner, outer = records
+        assert inner["parent"] == outer["id"]
+        assert inner["attrs"] == {"item": 3}
+        assert inner["wall_s"] >= 0 and inner["cpu_s"] >= 0
+
+    def test_exception_marks_span(self):
+        obs.configure(trace=True)
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = obs.collected_spans()
+        assert record["error"] == "RuntimeError"
+
+    def test_render_tree_indents_children(self):
+        obs.configure(trace=True)
+        with obs.span("parent"):
+            with obs.span("child"):
+                pass
+        tree = obs.render_tree(obs.collected_spans())
+        lines = tree.splitlines()
+        parent_line = next(l for l in lines if "parent" in l)
+        child_line = next(l for l in lines if "child" in l)
+        assert lines.index(parent_line) < lines.index(child_line)
+        assert child_line.startswith("  ")
+
+    def test_chrome_export_shape(self):
+        obs.configure(trace=True)
+        with obs.span("work"):
+            pass
+        document = obs.to_chrome(obs.collected_spans())
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 1
+        event = complete[0]
+        assert event["name"] == "work"
+        assert event["dur"] >= 0 and "ts" in event
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_ids_stay_unique_across_reactivations(self):
+        # A pool worker is re-activated once per chunk; ids must not
+        # restart or the assembled tree aliases spans across chunks.
+        obs.configure(trace=True)
+        context = obs.trace_context()
+        seen = set()
+        for _ in range(2):
+            obs_spans.activate_worker(context, process="w")
+            with obs.span("job"):
+                pass
+            for record in obs.drain_spans():
+                assert record["id"] not in seen
+                seen.add(record["id"])
+
+
+# ----------------------------------------------------------------------
+# Cross-process transport through the engine
+# ----------------------------------------------------------------------
+
+class TestEngineTransport:
+    def test_worker_context_none_when_off(self):
+        assert obs.worker_context() is None
+
+    def test_parallel_run_merges_spans_and_metrics(self):
+        obs.configure(metrics=True, trace=True)
+        jobs = [
+            Job(obs_instrumented_job, {"item": index}, label=f"j{index}")
+            for index in range(4)
+        ]
+        with obs.span("test.stage"):
+            results = Engine(jobs=2, chunk_size=1).run(jobs, stage="t")
+        assert results == [0, 1, 2, 3]
+        assert obs.registry().counter("test_obs_jobs_total").total() == 4
+        records = obs.collected_spans()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["t.inner"]) == 4
+        assert len(by_name["engine.job"]) == 4
+        # Worker spans really came from other processes and hang off
+        # the pool-side job spans.
+        job_ids = {record["id"] for record in by_name["engine.job"]}
+        for inner in by_name["t.inner"]:
+            assert inner["process"].startswith("worker")
+            assert inner["parent"] in job_ids
+        # Engine bridge folded scheduling metrics too.
+        snapshot = obs.registry().snapshot()
+        assert obs._counter_total(snapshot, "engine_jobs_total") == 4
+        assert obs._counter_total(snapshot, "engine_stages_total") == 1
+
+    def test_serial_run_records_job_spans(self):
+        obs.configure(metrics=True, trace=True)
+        jobs = [Job(obs_plain_job, {"item": 2}, label="one")]
+        Engine(jobs=1).run(jobs, stage="t")
+        names = [record["name"] for record in obs.collected_spans()]
+        assert "engine.job" in names and "engine.t" in names
+
+    def test_cache_hits_reach_the_registry(self, tmp_path):
+        obs.configure(metrics=True)
+        jobs = [
+            Job(obs_plain_job, {"item": index}, label=f"j{index}")
+            for index in range(3)
+        ]
+        cache = tmp_path / "cache"
+        Engine(jobs=1, cache=cache).run(jobs, stage="t")
+        assert obs.registry().counter(
+            "engine_cache_misses_total"
+        ).total() == 3
+        Engine(jobs=1, cache=cache).run(jobs, stage="t")
+        assert obs.registry().counter(
+            "engine_cache_hits_total"
+        ).total() == 3
+
+    def test_last_run_persists_without_cache(self):
+        # The satellite regression: `--no-cache` runs must still leave
+        # `repro engine stats` fresh via the state directory.
+        jobs = [Job(obs_plain_job, {"item": 1}, label="only")]
+        Engine(jobs=1).run(jobs, stage="t")
+        payload = load_last_run()
+        assert payload is not None
+        assert payload["jobs_completed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Persistence, exports, CLI
+# ----------------------------------------------------------------------
+
+def _collect_some_data():
+    obs.configure(metrics=True, trace=True)
+    with obs.span("test.root"):
+        obs.registry().counter(
+            "sim_instructions_total", "Instructions retired",
+        ).inc(42, mnemonic="addi")
+    return obs.persist_snapshot()
+
+
+class TestPersistenceAndExport:
+    def test_snapshot_round_trip(self):
+        _collect_some_data()
+        snapshot, spans = obs.load_snapshot()
+        assert obs._counter_total(snapshot, "sim_instructions_total") == 42
+        assert spans[0]["name"] == "test.root"
+
+    def test_export_reads_persisted_data(self):
+        _collect_some_data()
+        text = obs.export_text("prometheus")
+        assert 'sim_instructions_total{mnemonic="addi"} 42' in text
+        document = json.loads(obs.export_text("chrome"))
+        assert any(
+            event.get("name") == "test.root"
+            for event in document["traceEvents"]
+        )
+        records = [
+            json.loads(line)
+            for line in obs.export_text("jsonl").splitlines()
+        ]
+        assert records[0]["metric"] == "sim_instructions_total"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown export format"):
+            obs.export_text("yaml", snapshot={}, spans=[])
+
+    def test_summary_headlines(self):
+        obs.configure(metrics=True)
+        registry = obs.registry()
+        registry.counter("sim_instructions_total").inc(10)
+        registry.counter("fab_dies_probed_total").inc(4, voltage="4.5")
+        registry.counter("fab_dies_pass_total").inc(3, voltage="4.5")
+        registry.counter("fab_die_failures_total").inc(
+            1, mode="defect", voltage="4.5"
+        )
+        registry.counter("engine_cache_hits_total").inc(1)
+        registry.counter("engine_cache_misses_total").inc(1)
+        text = obs.summary()
+        assert "instructions retired: 10" in text
+        assert "dies tested:          4 (3 pass, 1 fail defect)" in text
+        assert "engine cache:         1/2 hits (50% hit rate)" in text
+
+
+class TestObsCli:
+    def test_summary_without_data_hints(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "summary"]) == 1
+        assert "--profile" in capsys.readouterr().out
+
+    def test_summary_with_data(self, capsys):
+        from repro.cli import main
+
+        _collect_some_data()
+        obs.reset()     # the CLI must read the persisted copy
+        assert main(["obs", "summary"]) == 0
+        output = capsys.readouterr().out
+        assert "test.root" in output
+        assert "instructions retired: 42" in output
+
+    def test_export_formats(self, capsys):
+        from repro.cli import main
+
+        _collect_some_data()
+        obs.reset()
+        assert main(["obs", "export", "--format", "prometheus"]) == 0
+        assert "# TYPE sim_instructions_total counter" in \
+            capsys.readouterr().out
+        assert main(["obs", "export", "--format", "chrome"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_tail(self, capsys):
+        from repro.cli import main
+
+        obs.configure(log_level="info", persist_log=True)
+        obs.get_logger("t").info("hello from the log", run=7)
+        assert main(["obs", "tail", "-n", "5"]) == 0
+        assert "hello from the log run=7" in capsys.readouterr().out

@@ -4,7 +4,12 @@ import pytest
 
 from repro.asm import assemble
 from repro.isa import get_isa
-from repro.sim.trace import Tracer, trace_program
+from repro.sim.trace import (
+    TraceEntry,
+    Tracer,
+    entries_from_jsonl,
+    trace_program,
+)
 
 FC4 = get_isa("flexicore4")
 EXT = get_isa("extacc")
@@ -65,6 +70,72 @@ there:
         program = assemble("addi 1\naddi 1\naddi 1\nhalt\n", EXT)
         tracer, _ = trace_program(program)
         assert len(tracer.text(first=1, count=2).splitlines()) == 2
+
+
+class TestTextFormatting:
+    def test_oport_write_rendered_in_hex(self):
+        program = assemble("addi 9\nstore 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        line = str(tracer.entries[1])
+        assert line.endswith(" -> OPORT=0x9")
+
+    def test_no_oport_suffix_without_write(self):
+        program = assemble("addi 9\nstore 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        assert "OPORT" not in str(tracer.entries[0])
+
+
+class TestBoundedWindow:
+    def test_run_continues_past_full_window(self):
+        # The window stops growing at `limit`, but the simulator keeps
+        # stepping: the program must still reach its halt.
+        program = assemble(
+            "\n".join(["addi 1"] * 20) + "\nstore 1\nhalt\n", EXT
+        )
+        tracer, outputs = trace_program(program, limit=5)
+        assert len(tracer.entries) == 5
+        assert tracer.entries[-1].index == 4
+        assert outputs == [20 % 16]
+        assert tracer.simulator.state.halted
+
+    def test_window_keeps_earliest_entries(self):
+        program = assemble("addi 1\naddi 2\naddi 3\nhalt\n", EXT)
+        tracer, _ = trace_program(program, limit=2)
+        assert [entry.text for entry in tracer.entries] == \
+            ["addi 1", "addi 2"]
+
+
+class TestExporter:
+    def test_record_round_trip(self):
+        program = assemble("addi 9\nstore 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        for entry in tracer.entries:
+            assert TraceEntry.from_record(entry.to_record()) == entry
+
+    def test_jsonl_round_trip(self):
+        program = assemble("addi 9\nstore 1\naddi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        restored = entries_from_jsonl(tracer.to_jsonl())
+        assert restored == tracer.entries
+        # Rendering survives the round trip, oport branch included.
+        assert [str(entry) for entry in restored] == \
+            [str(entry) for entry in tracer.entries]
+
+    def test_jsonl_ignores_blank_lines(self):
+        program = assemble("addi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        padded = "\n" + tracer.to_jsonl() + "\n\n"
+        assert entries_from_jsonl(padded) == tracer.entries
+
+    def test_records_are_plain_json(self):
+        import json
+
+        program = assemble("addi 1\nhalt\n", EXT)
+        tracer, _ = trace_program(program)
+        for line in tracer.to_jsonl().splitlines():
+            record = json.loads(line)
+            assert isinstance(record["mem"], list)
+            assert isinstance(record["text"], str)
 
 
 class TestBranchTargets:
