@@ -1,0 +1,97 @@
+"""Gate-level simulation backend benchmark: the 20-fault campaign.
+
+The acceptance property of the compiled bit-parallel backend: the
+standard 20-fault FlexiCore4 injection campaign -- one 64-lane batched
+run -- is at least 10x faster than the interpreted reference, which
+cross-checks the 20 faults one serial run at a time.  Both campaigns
+must produce identical verdicts.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): single repetition
+with a reduced instruction budget and no speedup threshold -- it checks
+that the campaign runs and the backends agree, not how fast the runner
+machine is.  Run locally with ``pytest benchmarks/test_bench_gatesim.py
+-s`` for the timing report.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_result
+from repro.fab.testing import fault_injection_study
+from repro.isa import get_isa
+from repro.netlist.cores import build_flexicore4
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+FAULTS = 20
+MAX_INSTRUCTIONS = 60 if SMOKE else 300
+ROUNDS = 1 if SMOKE else 3
+
+
+def _campaign(netlist, isa, backend, seed=2022):
+    """The Section 4.1 fault campaign with a fixed sampling seed, so
+    both backends draw the same inputs and the same fault sites."""
+    rng = np.random.default_rng(seed)
+    return fault_injection_study(
+        netlist, isa, rng, faults=FAULTS,
+        max_instructions=MAX_INSTRUCTIONS, backend=backend,
+    )
+
+
+class TestFaultCampaignSpeedup:
+    def test_compiled_campaign_is_10x_faster(self):
+        """Acceptance: batched lanes beat the serial per-fault loop 10x."""
+        netlist = build_flexicore4()
+        isa = get_isa("flexicore4")
+
+        started = time.perf_counter()
+        interpreted = _campaign(netlist, isa, "interpreted")
+        interpreted_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        compiled = _campaign(netlist, isa, "compiled")
+        compiled_s = time.perf_counter() - started
+
+        assert interpreted.injected == compiled.injected == FAULTS
+        assert compiled.details == interpreted.details
+        assert compiled.coverage == interpreted.coverage
+
+        ratio = interpreted_s / compiled_s
+        if not SMOKE:
+            assert ratio >= 10.0, (interpreted_s, compiled_s)
+        print_result(
+            f"Gate-sim backend speedup ({FAULTS}-fault campaign, "
+            f"FlexiCore4, {MAX_INSTRUCTIONS} instructions)",
+            f"interpreted {interpreted_s * 1e3:8.1f} ms "
+            f"({FAULTS} serial runs)\n"
+            f"compiled    {compiled_s * 1e3:8.1f} ms "
+            f"(1 batched 64-lane run)\n"
+            f"ratio       {ratio:8.1f}x (acceptance: >= 10x"
+            f"{', smoke: unchecked' if SMOKE else ''})\n"
+            f"coverage    {compiled.coverage:8.0%} "
+            f"({compiled.detected}/{compiled.injected} detected)",
+        )
+
+    def test_compiled_campaign_bench(self, benchmark):
+        """Steady-state cost of the batched compiled campaign."""
+        netlist = build_flexicore4()
+        isa = get_isa("flexicore4")
+        study = benchmark.pedantic(
+            lambda: _campaign(netlist, isa, "compiled"),
+            rounds=ROUNDS, iterations=1,
+        )
+        assert study.injected == FAULTS
+        assert study.coverage >= 0.5
+
+    def test_interpreted_campaign_bench(self, benchmark):
+        """Reference cost of the serial interpreted campaign (recorded
+        in the same benchmark JSON for the speedup to be computable
+        from artifacts alone)."""
+        netlist = build_flexicore4()
+        isa = get_isa("flexicore4")
+        study = benchmark.pedantic(
+            lambda: _campaign(netlist, isa, "interpreted"),
+            rounds=ROUNDS, iterations=1,
+        )
+        assert study.injected == FAULTS

@@ -21,6 +21,13 @@ results are bit-identical at any worker count.  The same commands take
 ``--profile`` (span tree + metrics summary on stderr), ``--trace FILE``
 (Chrome ``trace_event`` JSON), ``--log-level``/``--quiet``; the
 collected run persists to the state directory for ``repro obs``.
+
+Commands that run gate-level simulation (``yield``, ``dse``,
+``pareto``) take ``--backend interpreted|compiled`` to pick the
+simulation backend (default: compiled, the 64-lane bit-parallel
+engine; ``interpreted`` is the single-lane reference -- see
+docs/GATESIM.md).  ``yield --fault-check N`` additionally grounds the
+yield model with an N-fault stuck-at injection campaign per core.
 """
 
 import argparse
@@ -79,6 +86,24 @@ def _configure_engine(args):
     ) else None
     cache = None if args.no_cache else (args.cache_dir or True)
     return engine.configure(jobs=args.jobs, cache=cache, hooks=hooks)
+
+
+def _add_backend_argument(parser):
+    parser.add_argument(
+        "--backend", default="compiled",
+        choices=("interpreted", "compiled"),
+        help="gate-level simulation backend (default: compiled, the "
+             "64-lane bit-parallel engine; 'interpreted' is the "
+             "single-lane reference)",
+    )
+
+
+def _configure_backend(args):
+    """Install the process-wide default simulation backend."""
+    from repro.netlist import backend
+
+    backend.configure(args.backend)
+    return args.backend
 
 
 def _add_obs_arguments(parser):
@@ -220,7 +245,20 @@ def cmd_yield(args):
     from repro.experiments.tables import format_table5
 
     engine = _configure_engine(args)
+    backend = _configure_backend(args)
     print(format_table5(wafers=args.wafers, seed=args.seed))
+    if args.fault_check:
+        from repro.fab.yield_model import run_fault_coverage
+
+        coverage = run_fault_coverage(
+            seed=args.seed, faults=args.fault_check, backend=backend,
+        )
+        print()
+        print(f"fault coverage ({args.fault_check} stuck-at "
+              f"faults/core, {backend} backend):")
+        for core, study in coverage.items():
+            print(f"  {core:<12} {study['detected']}/{study['injected']}"
+                  f" detected ({100 * study['coverage']:.0f}%)")
     if args.engine_verbose:
         print(engine.metrics.summary(), file=sys.stderr)
     return 0
@@ -234,6 +272,7 @@ def cmd_dse(args):
     )
 
     engine = _configure_engine(args)
+    _configure_backend(args)
     print(format_figure12())
     print()
     print(format_figure13())
@@ -271,6 +310,7 @@ def cmd_pareto(args):
     from repro.dse.explorer import explore, format_frontier
 
     _configure_engine(args)
+    _configure_backend(args)
     metrics = tuple(args.metrics.split(","))
     bus = 8 if args.bus else None
     frontier, points = explore(metrics=metrics, bus_bits=bus)
@@ -466,11 +506,16 @@ def build_parser():
     p.add_argument("--wafers", type=int, default=6,
                    help="wafers per core in the Monte Carlo (default 6)")
     p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--fault-check", type=int, default=0, metavar="N",
+                   help="also inject N stuck-at faults per core and "
+                        "report how many the probe vectors detect")
+    _add_backend_argument(p)
     _add_engine_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(fn=cmd_yield)
 
     p = sub.add_parser("dse", help="design-space exploration summary")
+    _add_backend_argument(p)
     _add_engine_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(fn=cmd_dse)
@@ -499,6 +544,7 @@ def build_parser():
                    help="comma list from: area, energy, latency, code")
     p.add_argument("--bus", action="store_true",
                    help="restrict the program bus to 8 bits")
+    _add_backend_argument(p)
     _add_engine_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(fn=cmd_pareto)

@@ -26,6 +26,7 @@ from repro.dse.designs import ALL_DESIGNS, BASELINE, DesignPoint
 from repro.engine import Job, engine_or_default, job_function
 from repro.kernels.kernel import Target
 from repro.kernels.suite import SUITE
+from repro.netlist.backend import default_backend, make_backend
 from repro.netlist.sta import FETCH_DELAY_UNITS, analyze
 from repro.sim import MicroArch, cycle_count, cycles_multicycle
 from repro.sim.timing import InfeasibleDesign
@@ -87,6 +88,9 @@ class DesignMetrics:
     period_units: float
     frequency_hz: float
     kernels: Dict[str, KernelMetrics] = field(default_factory=dict)
+    #: Optional gate-level grounding result (:func:`gate_level_check`);
+    #: populated when the evaluation ran with ``gate_check=True``.
+    gate_check: Optional[dict] = None
 
     def total_code_bits(self):
         return sum(k.code_bits for k in self.kernels.values())
@@ -119,19 +123,81 @@ def _run_kernel(kernel, target, transactions, seed):
     return program, result.stats
 
 
+def gate_level_check(design, backend=None, cycles=64, seed=2022):
+    """Ground a design point's netlist in gate-level simulation.
+
+    The analytical metrics (area, STA period, cycle models) never
+    actually *run* the netlist; this does, on the selected
+    :mod:`repro.netlist.backend`.  The baseline design -- whose netlist
+    is the fabricated, ISA-verified FlexiCore4 -- is cross-checked
+    against its ISA model over the directed test program.  The DSE
+    netlists model hardware with no cycle-accurate ISA twin, so they
+    get a random-stimulus run instead: the check confirms the netlist
+    levelizes, simulates, and toggles on the chosen backend.
+    """
+    backend = backend or default_backend()
+    netlist, _ = _design_static(design)
+    if design.is_baseline:
+        from repro.fab.testing import directed_program
+        from repro.isa import get_isa
+        from repro.netlist.verify import run_cross_check
+
+        isa = get_isa(design.isa_name)
+        rng = np.random.default_rng(seed)
+        inputs = [int(rng.integers(0, 16)) for _ in range(32)]
+        result = run_cross_check(
+            netlist, isa, directed_program(isa), inputs=inputs,
+            max_instructions=120, backend=backend,
+        )
+        return {
+            "backend": backend,
+            "mode": "cross_check",
+            "cycles": result.cycles,
+            "mismatches": result.mismatches,
+            "passed": result.passed,
+            "toggle_fraction": result.toggle_fraction,
+        }
+    sim = make_backend(backend, netlist)
+    instr_bits = sum(1 for net in netlist.inputs if net.startswith("instr"))
+    iport_bits = sum(1 for net in netlist.inputs if net.startswith("iport"))
+    rng = np.random.default_rng(seed)
+    for _ in range(cycles):
+        sim.set_inputs({
+            "instr": int(rng.integers(0, 1 << instr_bits)),
+            "iport": int(rng.integers(0, 1 << iport_bits)),
+        })
+        sim.step()
+    toggled, _ = sim.toggle_coverage()
+    sim.flush_obs()
+    return {
+        "backend": backend,
+        "mode": "stimulus",
+        "cycles": sim.cycles,
+        "mismatches": 0,
+        "passed": True,
+        "toggle_fraction": toggled,
+    }
+
+
 def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
-                    bus_bits=None):
+                    bus_bits=None, gate_check=False, backend=None):
     """Measure one design point over the whole Table 6 suite.
 
     ``bus_bits`` restricts the program-memory bus (Figure 13's "(Bus)"
     configuration uses 8); by default each design gets a bus wide enough
     to fetch one instruction per cycle, as the paper assumes first.
+    With ``gate_check=True`` the metrics also carry a
+    :func:`gate_level_check` run on the selected simulation ``backend``.
     """
     started = time.perf_counter()
     with obs.span("dse.evaluate", design=design.name):
         metrics = _evaluate_design(
             design, transactions, seed, vdd, bus_bits
         )
+        if gate_check:
+            metrics.gate_check = gate_level_check(
+                design, backend=backend, seed=seed
+            )
     if obs.active():
         registry = obs.registry()
         registry.counter(
@@ -221,22 +287,30 @@ def evaluate_design_job(params, seed):
         transactions=params["transactions"],
         seed=params["seed"],
         bus_bits=params["bus_bits"],
+        gate_check=params.get("gate_check", False),
+        backend=params.get("backend"),
     )
 
 
 def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
-                 bus_bits=None, engine=None):
+                 bus_bits=None, engine=None, gate_check=False,
+                 backend=None):
     """Evaluate a set of designs; returns {design name: DesignMetrics}.
 
     Each design point is one engine job: with ``engine`` (or the
     process-wide default) configured for multiple workers the designs
     evaluate in parallel, and with a cache the whole sweep is a lookup.
+    ``gate_check``/``backend`` thread through to
+    :func:`evaluate_design`; the gate-check knobs join the cache key
+    only when enabled, so existing cached sweeps stay valid.
     """
     jobs = [
         Job(
             evaluate_design_job,
             {"design": design, "transactions": transactions,
-             "seed": seed, "bus_bits": bus_bits},
+             "seed": seed, "bus_bits": bus_bits,
+             **({"gate_check": True, "backend": backend or
+                 default_backend()} if gate_check else {})},
             label=f"dse:{design.name}"
                   + (f":bus{bus_bits}" if bus_bits else ""),
         )

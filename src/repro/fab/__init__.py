@@ -5,7 +5,9 @@ from repro.fab.testing import (
     FaultStudyResult,
     directed_program,
     fault_injection_study,
+    fault_study_job,
     random_program,
+    sample_fault_sites,
     toggle_coverage_study,
 )
 from repro.fab.wafer import (
@@ -24,6 +26,7 @@ from repro.fab.yield_model import (
     WaferProbeResult,
     fabricate_wafer,
     probed_wafer_job,
+    run_fault_coverage,
     run_yield_study,
     wafer_yield_job,
 )
@@ -33,7 +36,8 @@ __all__ = [
     "EDGE_EXCLUSION_MM", "FC4_WAFER", "FC8_WAFER", "FabricatedWafer",
     "FaultStudyResult", "ProbeRecord", "TEST_CYCLES", "WAFER_DIAMETER_MM",
     "Wafer", "WaferProbeResult", "WaferProcess", "directed_program",
-    "fabricate_wafer", "fault_injection_study", "probed_wafer_job",
-    "process_for", "random_program", "run_yield_study",
+    "fabricate_wafer", "fault_injection_study", "fault_study_job",
+    "probed_wafer_job", "process_for", "random_program",
+    "run_fault_coverage", "run_yield_study", "sample_fault_sites",
     "toggle_coverage_study", "wafer_yield_job",
 ]

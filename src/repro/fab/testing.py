@@ -13,13 +13,16 @@ gate-level netlist and measuring the detection rate.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional
+from functools import lru_cache
+from typing import List
 
 import numpy as np
 
 from repro import obs
 from repro.asm import assemble
-from repro.netlist.verify import run_cross_check
+from repro.engine import job_function
+from repro.netlist.backend import default_backend
+from repro.netlist.verify import run_cross_check, run_cross_check_batch
 
 
 def directed_program(isa):
@@ -99,56 +102,114 @@ class FaultStudyResult:
         return self.detected / self.injected if self.injected else 0.0
 
 
+def sample_fault_sites(netlist, rng, count):
+    """``count`` *distinct* stuck-at sites drawn over every gate.
+
+    A site is a (gate name, stuck value) pair; both combinational gates
+    and sequential DFFs are candidates (a stuck flop is just as much a
+    structural defect as a stuck NAND).  Sampling without replacement
+    keeps duplicate sites from inflating apparent coverage; the draw is
+    clamped to the number of available sites.
+    """
+    sites = [(gate.name, stuck)
+             for gate in netlist.gates for stuck in (0, 1)]
+    count = min(count, len(sites))
+    if count == 0:
+        return []
+    chosen = rng.choice(len(sites), size=count, replace=False)
+    return [sites[int(index)] for index in chosen]
+
+
 def fault_injection_study(netlist, isa, rng, faults=20,
-                          max_instructions=300):
+                          max_instructions=300, backend=None):
     """Inject random stuck-at faults and check the vectors catch them.
 
     This grounds the yield model: a die with any structural defect is
     assumed non-functional, which is only fair if the test vectors would
     actually observe the defect.
+
+    The fault list is packed into the lanes of the selected
+    :mod:`repro.netlist.backend` -- with the default compiled backend a
+    whole 64-fault chunk is one simulation run instead of 64 separate
+    cross-checks.
     """
     program = directed_program(isa)
     inputs = [int(rng.integers(0, 16)) for _ in range(64)]
+    sites = sample_fault_sites(netlist, rng, faults)
     detected = 0
     details = []
-    candidates = [g for g in netlist.gates if not g.sequential]
-    with obs.span("fab.fault_injection", faults=faults):
-        for _ in range(faults):
-            gate = candidates[int(rng.integers(0, len(candidates)))]
-            stuck = int(rng.integers(0, 2))
-            result = run_cross_check(
-                netlist, isa, program, inputs=inputs,
-                max_instructions=max_instructions,
-                fault=(gate.name, stuck),
-            )
+    with obs.span("fab.fault_injection", faults=len(sites),
+                  backend=backend or default_backend()):
+        results = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=max_instructions,
+            faults=sites, backend=backend,
+        )
+        for (gate_name, stuck), result in zip(sites, results):
             caught = not result.passed
             detected += caught
             details.append(
-                f"{gate.name} stuck-at-{stuck}: "
+                f"{gate_name} stuck-at-{stuck}: "
                 f"{'DETECTED' if caught else 'missed'}"
             )
     if obs.active():
         registry = obs.registry()
         registry.counter(
             "fab_faults_injected_total", "Stuck-at faults injected",
-        ).inc(faults)
+        ).inc(len(sites))
         registry.counter(
             "fab_faults_detected_total",
             "Injected faults observed at the outputs",
         ).inc(detected)
     return FaultStudyResult(
-        injected=faults, detected=detected, details=details
+        injected=len(sites), detected=detected, details=details
     )
 
 
-def toggle_coverage_study(netlist, isa, rng, instructions=2000):
+def toggle_coverage_study(netlist, isa, rng, instructions=2000,
+                          backend=None):
     """Run the directed program long enough to measure toggle coverage,
     the Section 4.1 metric."""
     program = directed_program(isa)
     inputs = [int(rng.integers(0, 16)) for _ in range(4096)]
-    with obs.span("fab.toggle_coverage", instructions=instructions):
+    with obs.span("fab.toggle_coverage", instructions=instructions,
+                  backend=backend or default_backend()):
         result = run_cross_check(
             netlist, isa, program, inputs=inputs,
-            max_instructions=instructions,
+            max_instructions=instructions, backend=backend,
         )
     return result
+
+
+@lru_cache(maxsize=None)
+def _core_for_testing(core):
+    """Per-process memo of a named core's netlist (pool workers build
+    each core at most once)."""
+    from repro.netlist.cores import build_core
+
+    return build_core(core)
+
+
+@job_function("fab.fault_study", version="1")
+def fault_study_job(params, seed):
+    """Engine job: one fault-injection campaign on a registered core.
+
+    The payload names the core, the ISA, the fault count *and the
+    simulation backend*, so the campaign runs identically (and caches
+    under a distinct key) whichever worker process picks it up.
+    """
+    from repro.isa import get_isa
+
+    netlist = _core_for_testing(params["core"])
+    study = fault_injection_study(
+        netlist, get_isa(params["isa"]), seed.rng(),
+        faults=params["faults"],
+        max_instructions=params.get("max_instructions", 300),
+        backend=params["backend"],
+    )
+    return {
+        "injected": study.injected,
+        "detected": study.detected,
+        "coverage": study.coverage,
+        "details": study.details,
+    }

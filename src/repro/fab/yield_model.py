@@ -23,7 +23,9 @@ import numpy as np
 from repro import obs
 from repro.engine import Job, engine_or_default, job_function, spawn_seeds
 from repro.fab.process import WaferProcess
+from repro.fab.testing import fault_study_job
 from repro.fab.wafer import Wafer
+from repro.netlist.backend import default_backend
 from repro.tech import tft
 from repro.tech.power import FMAX_HZ, OperatingPoint, static_power_w
 
@@ -320,13 +322,44 @@ def probed_wafer_job(params, seed):
         return {"fabricated": fabricated, "probes": probes}
 
 
+def run_fault_coverage(cores=("flexicore4", "flexicore8"), *, seed,
+                       faults=20, backend=None, max_instructions=300,
+                       engine=None):
+    """Measured stuck-at fault coverage per core, through the engine.
+
+    The yield model assumes any structural defect makes a die
+    non-functional; this runs the Section 4.1 fault-injection campaign
+    (one engine job per core, batched into simulation lanes by the
+    selected backend) to measure how often the probe vectors would
+    actually observe a defect.  Returns ``{core: {"injected": n,
+    "detected": n, "coverage": fraction, "details": [...]}}``.
+    """
+    backend = backend or default_backend()
+    jobs = [
+        Job(
+            fault_study_job,
+            {"core": core, "isa": core, "faults": faults,
+             "max_instructions": max_instructions, "backend": backend},
+            seed=child,
+            label=f"faults:{core}:{backend}",
+        )
+        for core, child in zip(cores, spawn_seeds(seed, len(cores)))
+    ]
+    results = engine_or_default(engine).run(jobs, stage="fault-coverage")
+    return dict(zip(cores, results))
+
+
 def run_yield_study(netlist, process, rng=None, wafers=5,
                     voltages=(3.0, 4.5), *, seed=None, core=None,
-                    engine=None):
+                    engine=None, fault_check=0, backend=None):
     """Monte Carlo over several wafers: the Table 5 numbers.
 
     Returns {voltage: {"full": fraction, "inclusion": fraction,
     "mean_current_ma": .., "rsd": ..}} aggregated over wafers.
+    With ``fault_check=N`` (engine-seeded mode only) the summary also
+    carries a ``"fault_coverage"`` entry: an N-fault injection campaign
+    on the core, run through the selected simulation ``backend``, that
+    grounds the defect=non-functional assumption.
 
     Two seeding modes:
 
@@ -348,6 +381,9 @@ def run_yield_study(netlist, process, rng=None, wafers=5,
                 f"engine-backed yield study needs a registered core "
                 f"name, got {core!r}; pass rng= for ad-hoc netlists"
             )
+        # One child per wafer plus a spare for the optional fault
+        # campaign, so the two studies never share a seed stream.
+        children = spawn_seeds(seed, wafers + 1)
         jobs = [
             Job(
                 wafer_yield_job,
@@ -356,13 +392,24 @@ def run_yield_study(netlist, process, rng=None, wafers=5,
                 seed=child,
                 label=f"{core}:wafer{index}",
             )
-            for index, child in enumerate(spawn_seeds(seed, wafers))
+            for index, child in enumerate(children[:wafers])
         ]
         per_wafer = engine_or_default(engine).run(
             jobs, stage=f"yield:{core}"
         )
-        return _merge_buckets(per_wafer, voltages)
+        summary = _merge_buckets(per_wafer, voltages)
+        if fault_check:
+            coverage = run_fault_coverage(
+                (core,), seed=children[wafers], faults=fault_check,
+                backend=backend, engine=engine,
+            )
+            summary["fault_coverage"] = coverage[core]
+        return summary
 
+    if fault_check:
+        raise TypeError(
+            "fault_check= needs the engine-seeded mode (pass seed=)"
+        )
     if rng is None:
         raise TypeError("run_yield_study requires either seed= or rng=")
     per_wafer = []

@@ -1,0 +1,49 @@
+"""Gate-level simulation backends behind one interface.
+
+Two implementations of :class:`SimBackend`:
+
+- ``"interpreted"`` -- the per-gate dict interpreter
+  (:class:`InterpretedBackend`), one lane per instance, kept as the
+  bit-exact reference;
+- ``"compiled"`` -- the levelized bit-parallel evaluator
+  (:class:`CompiledBackend`), packing up to 64 independent fault lanes
+  into the bits of 64-bit words, so one settle pass simulates a whole
+  fault campaign chunk.
+
+Consumers (cross-checks, fault campaigns, toggle studies, the CLI)
+select a backend by name; ``None`` means the process-wide default set
+by :func:`configure` (see the ``--backend`` CLI flag).  See
+``docs/GATESIM.md`` for lane packing, levelization, and guidance on
+choosing a backend.
+"""
+
+from repro.netlist.backend.base import (
+    BACKENDS,
+    SimBackend,
+    configure,
+    default_backend,
+    make_backend,
+    resolve_backend,
+)
+from repro.netlist.backend.compiled import (
+    FULL_MASK,
+    WORD_LANES,
+    CompiledBackend,
+)
+from repro.netlist.backend.interpreted import InterpretedBackend
+from repro.netlist.levelize import CombinationalLoopError, levelize
+
+__all__ = [
+    "BACKENDS",
+    "CombinationalLoopError",
+    "CompiledBackend",
+    "FULL_MASK",
+    "InterpretedBackend",
+    "SimBackend",
+    "WORD_LANES",
+    "configure",
+    "default_backend",
+    "levelize",
+    "make_backend",
+    "resolve_backend",
+]

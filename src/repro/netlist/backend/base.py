@@ -1,0 +1,176 @@
+"""The :class:`SimBackend` interface and backend registry.
+
+A backend evaluates a gate-level netlist over one or more *lanes*.  A
+lane is one independent simulation of the design: same stimulus, but
+its own injected stuck-at fault and its own toggle counts.  The
+interpreted backend runs one lane per instance (the bit-exact
+reference); the compiled backend packs up to 64 lanes into the bits of
+machine words, so one settle pass advances 64 fault candidates or
+Monte Carlo dies at once.
+
+Consumers address backends by name (``"interpreted"`` /
+``"compiled"``) through :func:`make_backend`; ``None`` resolves to the
+process-wide default installed by :func:`configure` (the CLI's
+``--backend`` flag lands there).
+"""
+
+from abc import ABC, abstractmethod
+
+_DEFAULT_BACKEND = "compiled"
+_default_name = _DEFAULT_BACKEND
+
+#: name -> backend class; filled in by repro.netlist.backend.__init__.
+BACKENDS = {}
+
+
+def register_backend(cls):
+    """Class decorator adding a backend implementation to the registry."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def configure(default=None):
+    """Install the process-wide default backend name (CLI ``--backend``).
+
+    Returns the active default.  ``configure()`` with no argument resets
+    to the library default ("compiled").
+    """
+    global _default_name
+    name = default or _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        )
+    _default_name = name
+    return _default_name
+
+
+def default_backend():
+    """Name of the process-wide default backend."""
+    return _default_name
+
+
+def resolve_backend(name):
+    """Map a backend spec (name or None) to a registered class."""
+    name = name or _default_name
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+
+
+def make_backend(name, netlist, lanes=1):
+    """Instantiate a backend over ``netlist`` with ``lanes`` fault lanes."""
+    cls = resolve_backend(name)
+    return cls(netlist, lanes=lanes)
+
+
+class SimBackend(ABC):
+    """Multi-lane gate-level evaluation of one netlist.
+
+    Lane semantics: inputs and clock edges are shared by every lane;
+    faults and observed state (net values, toggle counts, mismatches)
+    are per-lane.  ``lanes`` is fixed at construction and bounded by
+    ``max_lanes``; campaign drivers chunk their fault lists accordingly.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+    #: Largest lane count one instance supports.
+    max_lanes = 1
+
+    @property
+    @abstractmethod
+    def lanes(self):
+        """Number of active lanes in this instance."""
+
+    @property
+    @abstractmethod
+    def cycles(self):
+        """Clock cycles stepped so far (identical across lanes)."""
+
+    # -- stimulus ------------------------------------------------------
+
+    @abstractmethod
+    def set_inputs(self, assignments):
+        """Assign primary inputs ({net: 0/1} or {bus_stem: int}),
+        broadcast to every lane.  Rejects out-of-range values."""
+
+    @abstractmethod
+    def set_fault_lanes(self, faults):
+        """Install one stuck-at fault per lane and re-settle.
+
+        ``faults`` is a sequence of at most ``lanes`` entries, each
+        ``None`` (healthy lane) or a ``(gate_name, stuck_value)`` pair.
+        Replaces any previously installed faults.
+        """
+
+    @abstractmethod
+    def clear_faults(self):
+        """Remove every fault and re-settle."""
+
+    @abstractmethod
+    def step(self):
+        """One clock cycle: settle, clock the DFFs, settle."""
+
+    # -- observation ---------------------------------------------------
+
+    @abstractmethod
+    def read_net(self, net, lane=0):
+        """Value (0/1) of one net in one lane."""
+
+    @abstractmethod
+    def read_bus(self, stem, width=None, lane=0):
+        """Little-endian integer value of bus ``stem0..N`` in one lane."""
+
+    def read_bus_lanes(self, stem, width=None):
+        """Bus value in every lane, as a list indexed by lane.
+
+        Backends with a packed representation override this with a
+        transposed extraction; the generic version just loops.
+        """
+        return [
+            self.read_bus(stem, width=width, lane=lane)
+            for lane in range(self.lanes)
+        ]
+
+    @abstractmethod
+    def toggles(self, lane=0):
+        """{gate name: toggle count} for one lane."""
+
+    def toggle_coverage(self, lane=0):
+        """(fraction of gates that toggled, mean toggles per gate)."""
+        counts = self.toggles(lane)
+        total = len(counts) or 1
+        toggled = sum(1 for count in counts.values() if count)
+        mean = sum(counts.values()) / total
+        return toggled / total, mean
+
+    @abstractmethod
+    def flush_obs(self):
+        """Fold lane-adjusted evaluation tallies into the obs registry.
+
+        Lane adjustment keeps the ``gate_evaluations_total`` /
+        ``gate_settle_passes_total`` counters comparable across
+        backends: a 64-lane settle pass is charged as 64 passes, so a
+        batched fault campaign reports the same totals as the
+        equivalent serial one.
+        """
+
+    # -- shared input validation --------------------------------------
+
+    def _validate_scalar(self, name, value):
+        if value not in (0, 1):
+            raise ValueError(
+                f"input '{name}' is a single net; value must be 0 or 1, "
+                f"got {value!r}"
+            )
+
+    def _validate_bus(self, stem, width, value):
+        if not 0 <= value < (1 << width):
+            raise ValueError(
+                f"value {value!r} out of range for {width}-bit bus "
+                f"'{stem}'"
+            )

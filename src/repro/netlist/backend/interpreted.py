@@ -1,0 +1,78 @@
+"""The reference backend: one lane over the per-gate interpreter.
+
+A thin adapter putting :class:`~repro.netlist.sim.GateLevelSimulator`
+behind the :class:`~repro.netlist.backend.base.SimBackend` interface.
+Every behavioral question -- settle semantics, toggle attribution,
+fault propagation -- is answered by the interpreter; the compiled
+backend is validated bit-for-bit against this one.
+"""
+
+from repro.netlist.backend.base import SimBackend, register_backend
+from repro.netlist.sim import GateLevelSimulator
+
+
+@register_backend
+class InterpretedBackend(SimBackend):
+    """Single-lane dict interpreter (the bit-exact reference)."""
+
+    name = "interpreted"
+    max_lanes = 1
+
+    def __init__(self, netlist, lanes=1):
+        if lanes != 1:
+            raise ValueError(
+                f"the interpreted backend is single-lane, got lanes={lanes}"
+            )
+        self.sim = GateLevelSimulator(netlist)
+
+    @property
+    def lanes(self):
+        return 1
+
+    @property
+    def cycles(self):
+        return self.sim.cycles
+
+    def set_inputs(self, assignments):
+        self.sim.set_inputs(assignments)
+
+    def set_fault_lanes(self, faults):
+        faults = list(faults)
+        if len(faults) > 1:
+            raise ValueError(
+                f"the interpreted backend holds one fault lane, "
+                f"got {len(faults)}"
+            )
+        self.sim.faults.clear()
+        if faults and faults[0] is not None:
+            gate_name, stuck = faults[0]
+            self.sim.inject_fault(gate_name, stuck)
+
+    def clear_faults(self):
+        self.sim.clear_faults()
+
+    def step(self):
+        self.sim.step()
+
+    def read_net(self, net, lane=0):
+        self._check_lane(lane)
+        return self.sim.read_net(net)
+
+    def read_bus(self, stem, width=None, lane=0):
+        self._check_lane(lane)
+        return self.sim.read_bus(stem, width)
+
+    def toggles(self, lane=0):
+        self._check_lane(lane)
+        return dict(self.sim.toggles)
+
+    def toggle_coverage(self, lane=0):
+        self._check_lane(lane)
+        return self.sim.toggle_coverage()
+
+    def flush_obs(self):
+        self.sim.flush_obs()
+
+    def _check_lane(self, lane):
+        if lane != 0:
+            raise IndexError(f"interpreted backend has 1 lane, got {lane}")

@@ -1,0 +1,53 @@
+"""Topological ordering of combinational gates, shared by every
+gate-level evaluator.
+
+Both simulation backends (:mod:`repro.netlist.backend`) and static
+timing analysis (:mod:`repro.netlist.sta`) need the same thing from a
+netlist: its combinational gates sorted so every gate appears after the
+gates driving its inputs, with a loop diagnostic when that is
+impossible.  Keeping the Kahn traversal here means the order -- and
+therefore per-pass evaluation semantics and toggle attribution -- is
+identical everywhere by construction.
+"""
+
+from collections import deque
+
+
+class CombinationalLoopError(Exception):
+    pass
+
+
+def levelize(netlist):
+    """Topological order of ``netlist``'s combinational gates.
+
+    Sequential cells (DFFs) break timing loops: their outputs are
+    treated as primary sources, their inputs as sinks.  Raises
+    :class:`CombinationalLoopError` naming gates on a cycle when the
+    combinational subgraph is not a DAG.
+    """
+    comb = [g for g in netlist.gates if not g.sequential]
+    producers = {g.output: g for g in comb}
+    consumers = {}
+    indegree = {}
+    for gate in comb:
+        count = 0
+        for net in gate.inputs:
+            if net in producers:
+                consumers.setdefault(net, []).append(gate)
+                count += 1
+        indegree[gate.name] = count
+    ready = deque(g for g in comb if indegree[g.name] == 0)
+    order = []
+    while ready:
+        gate = ready.popleft()
+        order.append(gate)
+        for consumer in consumers.get(gate.output, ()):
+            indegree[consumer.name] -= 1
+            if indegree[consumer.name] == 0:
+                ready.append(consumer)
+    if len(order) != len(comb):
+        stuck = [g.name for g in comb if indegree[g.name] > 0][:5]
+        raise CombinationalLoopError(
+            f"combinational loop involving {stuck}"
+        )
+    return order

@@ -8,14 +8,11 @@ claim ("gates toggling on average 24,060 times, and all gates toggle at
 least once").
 """
 
-from collections import deque
-
 from repro import obs
 from repro.netlist.core import Netlist
+from repro.netlist.levelize import CombinationalLoopError, levelize
 
-
-class CombinationalLoopError(Exception):
-    pass
+__all__ = ["CombinationalLoopError", "GateLevelSimulator"]
 
 
 def _evaluate(function, values):
@@ -65,42 +62,27 @@ class GateLevelSimulator:
         self._settle(count_toggles=False)
 
     def _levelize(self):
-        """Topological order of combinational gates."""
-        comb = [g for g in self.netlist.gates if not g.sequential]
-        producers = {g.output: g for g in comb}
-        consumers = {}
-        indegree = {}
-        for gate in comb:
-            count = 0
-            for net in gate.inputs:
-                if net in producers:
-                    consumers.setdefault(net, []).append(gate)
-                    count += 1
-            indegree[gate.name] = count
-        ready = deque(g for g in comb if indegree[g.name] == 0)
-        order = []
-        while ready:
-            gate = ready.popleft()
-            order.append(gate)
-            for consumer in consumers.get(gate.output, ()):
-                indegree[consumer.name] -= 1
-                if indegree[consumer.name] == 0:
-                    ready.append(consumer)
-        if len(order) != len(comb):
-            stuck = [g.name for g in comb
-                     if indegree[g.name] > 0][:5]
-            raise CombinationalLoopError(
-                f"combinational loop involving {stuck}"
-            )
-        return order
+        """Topological order of combinational gates (shared with the
+        backend layer and STA via :mod:`repro.netlist.levelize`)."""
+        return levelize(self.netlist)
 
     # ------------------------------------------------------------------
 
     def set_inputs(self, assignments):
-        """Assign primary inputs ({name: 0/1} or {bus_stem: int})."""
+        """Assign primary inputs ({name: 0/1} or {bus_stem: int}).
+
+        Values are range-checked: a single net takes exactly 0 or 1,
+        and a bus value must fit in the bus width -- silently masking
+        an oversized value would hide driver bugs from the cross-check.
+        """
         for name, value in assignments.items():
             if name in self.values or name in self.netlist.inputs:
-                self.values[name] = value & 1
+                if value not in (0, 1):
+                    raise ValueError(
+                        f"input '{name}' is a single net; value must "
+                        f"be 0 or 1, got {value!r}"
+                    )
+                self.values[name] = int(value)
             else:
                 # Bus assignment: stem + bit index.
                 width = 0
@@ -108,6 +90,11 @@ class GateLevelSimulator:
                     width += 1
                 if width == 0:
                     raise KeyError(f"no such input '{name}'")
+                if not 0 <= value < (1 << width):
+                    raise ValueError(
+                        f"value {value!r} out of range for {width}-bit "
+                        f"bus '{name}'"
+                    )
                 for bit in range(width):
                     self.values[f"{name}{bit}"] = (value >> bit) & 1
 
@@ -160,12 +147,19 @@ class GateLevelSimulator:
         value, bit = 0, 0
         while True:
             net = f"{stem}{bit}"
-            if net not in self.values or (width is not None and bit >= width):
+            if net not in self.values:
+                if bit == 0:
+                    raise KeyError(f"no such bus '{stem}'")
+                if width is not None and bit < width:
+                    raise KeyError(
+                        f"bus '{stem}' is only {bit} bits wide; "
+                        f"cannot read {width} bits"
+                    )
+                break
+            if width is not None and bit >= width:
                 break
             value |= self.values[net] << bit
             bit += 1
-        if bit == 0:
-            raise KeyError(f"no such bus '{stem}'")
         return value
 
     def read_net(self, net):

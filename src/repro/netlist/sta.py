@@ -12,7 +12,7 @@ factor pushes it past the 12.5 kHz budget for most process corners.
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.netlist.sim import GateLevelSimulator
+from repro.netlist.levelize import levelize
 from repro.tech import tft
 from repro.tech.cells import SECONDS_PER_DELAY_UNIT
 
@@ -59,8 +59,9 @@ def analyze(netlist):
     """Longest-path analysis.  Endpoints are DFF D-inputs and primary
     outputs; start points are DFF Q-outputs and primary inputs (all at
     arrival time 0, plus the DFF clock-to-q delay)."""
-    # Reuse the simulator's levelization (and its loop check).
-    order = GateLevelSimulator(netlist)._order
+    # The shared levelization (and its loop check) -- no simulator
+    # state is built just to order the gates.
+    order = levelize(netlist)
 
     arrival = {net: 0.0 for net in netlist.inputs}
     arrival.update({net: 0.0 for net in netlist.constants})

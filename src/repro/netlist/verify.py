@@ -5,13 +5,20 @@ functional only when every output of every cycle matches.  We do the
 same in software: drive the gate-level netlist and the ISA simulator
 with the same program and inputs, and compare the PC and OPORT pins at
 every instruction boundary.
+
+The gate side runs on a pluggable :mod:`repro.netlist.backend`.  Because
+the stimulus (instruction bytes and IPORT samples) is derived entirely
+from the ISA model, it is identical for every injected fault -- so
+:func:`run_cross_check_batch` packs many faults into the lanes of one
+backend instance and checks them all in a single run, the classic
+parallel fault simulation strategy.
 """
 
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.netlist.sim import GateLevelSimulator
-from repro.sim.memory import ProgramMemory
+from repro.netlist.backend.base import resolve_backend
+from repro.sim.memory import ProgramMemory  # noqa: F401  (re-export)
 
 
 @dataclass
@@ -28,31 +35,68 @@ class CrossCheckResult:
 
 
 def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
-                    fault=None):
+                    fault=None, backend=None):
     """Run ``program`` on both models, comparing PC and OPORT.
 
     ``inputs`` is a list of IPORT samples presented as a held level and
     advanced once per architectural read (matching the functional
     model's pop semantics).  ``fault`` optionally injects a stuck-at
     fault: a ``(gate_name, value)`` pair forcing that gate's output --
-    used by the yield model's fault-detection tests.
+    used by the yield model's fault-detection tests.  ``backend`` names
+    the gate-level simulation backend (``"interpreted"`` /
+    ``"compiled"``; ``None`` uses the process default).
 
     Only single-page programs can be cross-checked (the gate-level core
     is the bare die; the MMU is a separate component).
     """
-    from repro.isa.state import IPORT_ADDR
+    return run_cross_check_batch(
+        netlist, isa, program, inputs=inputs,
+        max_instructions=max_instructions, faults=[fault],
+        backend=backend,
+    )[0]
 
+
+def run_cross_check_batch(netlist, isa, program, inputs=None,
+                          max_instructions=500, faults=None, backend=None):
+    """Cross-check one fault per lane, all in as few runs as possible.
+
+    ``faults`` is a sequence whose entries are ``None`` (healthy lane)
+    or ``(gate_name, stuck_value)`` pairs; the result list lines up
+    with it.  Fault lists longer than the backend's lane capacity are
+    chunked (the interpreted reference is single-lane, so it degrades
+    to the per-fault loop; the compiled backend takes 64 per run).
+    Each lane's result -- mismatch count, first-mismatch message, and
+    toggle statistics -- is bit-identical to a dedicated serial run,
+    because every lane sees exactly the same ISA-derived stimulus.
+    """
     image = program.image() if hasattr(program, "image") else bytes(program)
     if len(image) > 128:
         raise ValueError("cross-check supports single-page programs only")
 
-    gate_sim = GateLevelSimulator(netlist)
-    if fault is not None:
-        gate_name, stuck = fault
-        gate_sim.inject_fault(gate_name, stuck)
+    fault_list = list(faults) if faults is not None else [None]
+    backend_cls = resolve_backend(backend)
+    chunk = max(1, backend_cls.max_lanes)
+    input_values = list(inputs or [])
+    results = []
+    for start in range(0, len(fault_list), chunk):
+        results.extend(_drive_chunk(
+            backend_cls, netlist, isa, image, input_values,
+            max_instructions, fault_list[start:start + chunk],
+        ))
+    return results
+
+
+def _drive_chunk(backend_cls, netlist, isa, image, input_values,
+                 max_instructions, faults):
+    """One backend run: ``len(faults)`` lanes against one ISA replay."""
+    from repro.isa.state import IPORT_ADDR
+
+    lanes = len(faults)
+    gate_sim = backend_cls(netlist, lanes=lanes)
+    if any(fault is not None for fault in faults):
+        gate_sim.set_fault_lanes(faults)
 
     state = isa.new_state()
-    input_values = list(inputs or [])
     cursor = {"gate": 0, "isa": 0}
 
     def isa_input():
@@ -64,23 +108,24 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
 
     state.input_fn = isa_input
 
-    mismatches = 0
-    first = None
+    mismatches = [0] * lanes
+    firsts: List[Optional[str]] = [None] * lanes
     width = isa.word_bits
 
     for instruction_index in range(max_instructions):
-        # ---- compare architectural state at the boundary ----
-        gate_pc = gate_sim.read_bus("pc")
-        gate_oport = gate_sim.read_bus("oport", width)
+        # ---- compare architectural state at the boundary, per lane ----
+        pc_lanes = gate_sim.read_bus_lanes("pc")
+        oport_lanes = gate_sim.read_bus_lanes("oport", width)
         isa_oport = state.mem[1]
-        if gate_pc != state.pc or gate_oport != isa_oport:
-            mismatches += 1
-            if first is None:
-                first = (
-                    f"instruction {instruction_index}: "
-                    f"pc gate={gate_pc} isa={state.pc}, "
-                    f"oport gate={gate_oport} isa={isa_oport}"
-                )
+        for lane in range(lanes):
+            if pc_lanes[lane] != state.pc or oport_lanes[lane] != isa_oport:
+                mismatches[lane] += 1
+                if firsts[lane] is None:
+                    firsts[lane] = (
+                        f"instruction {instruction_index}: "
+                        f"pc gate={pc_lanes[lane]} isa={state.pc}, "
+                        f"oport gate={oport_lanes[lane]} isa={isa_oport}"
+                    )
         # ---- step the ISA model ----
         decoded = isa.decode(
             image + bytes(4), state.pc  # wrap margin
@@ -107,11 +152,14 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
             break
 
     gate_sim.flush_obs()
-    toggled, mean = gate_sim.toggle_coverage()
-    return CrossCheckResult(
-        cycles=gate_sim.cycles,
-        mismatches=mismatches,
-        first_mismatch=first,
-        toggle_fraction=toggled,
-        mean_toggles=mean,
-    )
+    results = []
+    for lane in range(lanes):
+        toggled, mean = gate_sim.toggle_coverage(lane)
+        results.append(CrossCheckResult(
+            cycles=gate_sim.cycles,
+            mismatches=mismatches[lane],
+            first_mismatch=firsts[lane],
+            toggle_fraction=toggled,
+            mean_toggles=mean,
+        ))
+    return results

@@ -1,0 +1,322 @@
+"""Property-style equivalence: compiled backend vs the interpreted reference.
+
+The compiled backend's only correctness contract is "bit-identical to
+the interpreter": same outputs, same per-gate toggle counts, same fault
+verdicts, same observability totals.  These tests check that contract
+on random programs and random fault sites over the fabricated cores
+(FlexiCore4, FlexiCore8) and on random stimulus over the DSE cores.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fab.testing import random_program, sample_fault_sites
+from repro.isa import get_isa
+from repro.isa.extended import FULL_FEATURES
+from repro.netlist.backend import (
+    BACKENDS,
+    WORD_LANES,
+    CompiledBackend,
+    InterpretedBackend,
+    configure,
+    default_backend,
+    make_backend,
+    resolve_backend,
+)
+from repro.netlist.cores import build_core
+from repro.netlist.dse_cores import build_extended_core, build_loadstore_core
+from repro.netlist.verify import run_cross_check, run_cross_check_batch
+
+FAB_CORES = ("flexicore4", "flexicore8")
+
+
+@pytest.fixture(scope="module")
+def cores():
+    return {name: build_core(name) for name in FAB_CORES}
+
+
+def _random_inputs(rng, bits, count):
+    return [int(rng.integers(0, 1 << bits)) for _ in range(count)]
+
+
+class TestCrossCheckEquivalence:
+    """run_cross_check(_batch) through both backends, result for result."""
+
+    @pytest.mark.parametrize("core", FAB_CORES)
+    def test_random_program_and_faults_match(self, cores, core):
+        netlist = cores[core]
+        isa = get_isa(core)
+        rng = np.random.default_rng(20220806)
+        program = random_program(isa, rng, length=48)
+        inputs = _random_inputs(rng, isa.word_bits, 32)
+        faults = [None] + sample_fault_sites(netlist, rng, 7)
+
+        reference = [
+            run_cross_check(
+                netlist, isa, program, inputs=inputs,
+                max_instructions=100, fault=fault, backend="interpreted",
+            )
+            for fault in faults
+        ]
+        batched = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=100, faults=faults, backend="compiled",
+        )
+        # Dataclass equality covers cycles, mismatch counts, the exact
+        # first-mismatch message, and both toggle statistics.
+        assert batched == reference
+
+    def test_fault_free_single_lane_matches(self, cores):
+        netlist = cores["flexicore4"]
+        isa = get_isa("flexicore4")
+        rng = np.random.default_rng(99)
+        program = random_program(isa, rng, length=32)
+        inputs = _random_inputs(rng, isa.word_bits, 16)
+        results = {
+            name: run_cross_check(
+                netlist, isa, program, inputs=inputs,
+                max_instructions=60, backend=name,
+            )
+            for name in sorted(BACKENDS)
+        }
+        assert results["compiled"] == results["interpreted"]
+
+    def test_interpreted_chunks_to_per_fault_runs(self, cores):
+        """The single-lane reference still accepts a fault batch."""
+        netlist = cores["flexicore4"]
+        isa = get_isa("flexicore4")
+        rng = np.random.default_rng(4)
+        program = random_program(isa, rng, length=24)
+        faults = sample_fault_sites(netlist, rng, 3)
+        batched = run_cross_check_batch(
+            netlist, isa, program, max_instructions=40,
+            faults=faults, backend="interpreted",
+        )
+        assert len(batched) == len(faults)
+
+
+class TestLaneSemantics:
+    """Per-lane state on the compiled backend vs serial reference runs."""
+
+    def test_mixed_fault_lanes_match_serial(self, cores):
+        netlist = cores["flexicore4"]
+        comb_gate = next(
+            g.name for g in netlist.gates if not g.sequential
+        )
+        flop_gate = next(g.name for g in netlist.gates if g.sequential)
+        faults = [None, (comb_gate, 1), (flop_gate, 0), (comb_gate, 1)]
+
+        packed = CompiledBackend(netlist, lanes=len(faults))
+        packed.set_fault_lanes(faults)
+        serial = []
+        for fault in faults:
+            sim = InterpretedBackend(netlist)
+            sim.set_fault_lanes([fault])
+            serial.append(sim)
+
+        rng = np.random.default_rng(11)
+        for _ in range(24):
+            stimulus = {
+                "instr": int(rng.integers(0, 256)),
+                "iport": int(rng.integers(0, 16)),
+            }
+            packed.set_inputs(stimulus)
+            packed.step()
+            for sim in serial:
+                sim.set_inputs(stimulus)
+                sim.step()
+            for lane, sim in enumerate(serial):
+                assert packed.read_bus("pc", lane=lane) == \
+                    sim.read_bus("pc")
+                assert packed.read_bus("oport", lane=lane) == \
+                    sim.read_bus("oport")
+
+        for lane, sim in enumerate(serial):
+            assert packed.toggles(lane) == sim.toggles()
+            assert packed.toggle_coverage(lane) == sim.toggle_coverage()
+        # Duplicate faults in different lanes behave identically.
+        assert packed.toggles(3) == packed.toggles(1)
+
+    def test_lane_bounds(self, cores):
+        netlist = cores["flexicore4"]
+        with pytest.raises(ValueError):
+            CompiledBackend(netlist, lanes=WORD_LANES + 1)
+        with pytest.raises(ValueError):
+            CompiledBackend(netlist, lanes=0)
+        with pytest.raises(ValueError):
+            InterpretedBackend(netlist, lanes=2)
+        sim = CompiledBackend(netlist, lanes=2)
+        with pytest.raises(IndexError):
+            sim.read_bus("pc", lane=2)
+        with pytest.raises(ValueError):
+            sim.set_fault_lanes([None, None, None])
+
+
+class TestDseCoreEquivalence:
+    """The DSE netlists simulate identically on both backends."""
+
+    @pytest.mark.parametrize("builder", [
+        pytest.param(
+            lambda: build_extended_core(frozenset(FULL_FEATURES)),
+            id="extacc-full",
+        ),
+        pytest.param(lambda: build_loadstore_core("SC"), id="loadstore-sc"),
+    ])
+    def test_random_stimulus_and_toggles_match(self, builder):
+        netlist = builder()
+        instr_bits = sum(
+            1 for net in netlist.inputs if net.startswith("instr")
+        )
+        iport_bits = sum(
+            1 for net in netlist.inputs if net.startswith("iport")
+        )
+        reference = make_backend("interpreted", netlist)
+        compiled = make_backend("compiled", netlist)
+        rng = np.random.default_rng(2022)
+        for _ in range(32):
+            stimulus = {
+                "instr": int(rng.integers(0, 1 << instr_bits)),
+                "iport": int(rng.integers(0, 1 << iport_bits)),
+            }
+            for sim in (reference, compiled):
+                sim.set_inputs(stimulus)
+                sim.step()
+            assert compiled.read_bus("pc") == reference.read_bus("pc")
+            assert compiled.read_bus("oport") == \
+                reference.read_bus("oport")
+        assert compiled.toggles() == reference.toggles()
+
+    def test_dse_core_fault_verdicts_match(self):
+        netlist = build_extended_core(frozenset(FULL_FEATURES))
+        rng = np.random.default_rng(5)
+        sites = sample_fault_sites(netlist, rng, 4)
+
+        def outputs_after(backend_name, fault):
+            sim = make_backend(backend_name, netlist)
+            if fault is not None:
+                sim.set_fault_lanes([fault])
+            drive = np.random.default_rng(77)
+            trace = []
+            for _ in range(16):
+                sim.set_inputs({
+                    "instr": int(drive.integers(0, 256)),
+                    "iport": int(drive.integers(0, 16)),
+                })
+                sim.step()
+                trace.append((sim.read_bus("pc"), sim.read_bus("oport")))
+            return trace
+
+        for fault in [None] + sites:
+            assert outputs_after("compiled", fault) == \
+                outputs_after("interpreted", fault)
+
+
+class TestInputValidation:
+    """Satellite: strict scalar/bus validation on every backend."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_scalar_rejects_out_of_range(self, cores, backend):
+        sim = make_backend(backend, cores["flexicore4"])
+        with pytest.raises(ValueError, match="must be 0 or 1"):
+            sim.set_inputs({"instr0": 2})
+        with pytest.raises(ValueError, match="must be 0 or 1"):
+            sim.set_inputs({"instr0": -1})
+        sim.set_inputs({"instr0": 1})
+        assert sim.read_net("instr0") == 1
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_bus_rejects_out_of_range(self, cores, backend):
+        sim = make_backend(backend, cores["flexicore4"])
+        with pytest.raises(ValueError, match="out of range"):
+            sim.set_inputs({"instr": 256})
+        with pytest.raises(ValueError, match="out of range"):
+            sim.set_inputs({"iport": -1})
+        with pytest.raises(KeyError):
+            sim.set_inputs({"no_such_bus": 1})
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_read_bus_width_checked(self, cores, backend):
+        sim = make_backend(backend, cores["flexicore4"])
+        with pytest.raises(KeyError, match="only 7 bits wide"):
+            sim.read_bus("pc", width=8)
+        with pytest.raises(KeyError, match="no such bus"):
+            sim.read_bus("nonexistent")
+        assert sim.read_bus("pc", width=4) == sim.read_bus("pc") & 0xF
+
+
+class TestObservability:
+    """Lane-adjusted counters: batched totals equal serial totals."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path / "state"))
+        obs.reset()
+        yield
+        obs.reset()
+
+    GATE_COUNTERS = (
+        "gate_evaluations_total",
+        "gate_settle_passes_total",
+        "gate_sim_cycles_total",
+    )
+
+    def _campaign_totals(self, netlist, isa, program, faults, backend):
+        obs.reset()
+        obs.configure(metrics=True)
+        if backend == "interpreted":
+            for fault in faults:
+                run_cross_check(
+                    netlist, isa, program, max_instructions=30,
+                    fault=fault, backend=backend,
+                )
+        else:
+            run_cross_check_batch(
+                netlist, isa, program, max_instructions=30,
+                faults=faults, backend=backend,
+            )
+        registry = obs.registry()
+        return {
+            name: registry.counter(name).total()
+            for name in self.GATE_COUNTERS
+        }
+
+    def test_batched_totals_equal_serial(self, cores):
+        netlist = cores["flexicore4"]
+        isa = get_isa("flexicore4")
+        rng = np.random.default_rng(8)
+        program = random_program(isa, rng, length=16)
+        faults = [None] + sample_fault_sites(netlist, rng, 5)
+        serial = self._campaign_totals(
+            netlist, isa, program, faults, "interpreted"
+        )
+        batched = self._campaign_totals(
+            netlist, isa, program, faults, "compiled"
+        )
+        assert batched == serial
+        assert serial["gate_evaluations_total"] > 0
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(BACKENDS) == {"interpreted", "compiled"}
+        assert resolve_backend("compiled") is CompiledBackend
+        assert resolve_backend("interpreted") is InterpretedBackend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("verilated")
+        with pytest.raises(ValueError, match="unknown backend"):
+            configure("verilated")
+
+    def test_configure_default(self, cores):
+        assert default_backend() == "compiled"
+        try:
+            configure("interpreted")
+            assert default_backend() == "interpreted"
+            assert resolve_backend(None) is InterpretedBackend
+            sim = make_backend(None, cores["flexicore4"])
+            assert isinstance(sim, InterpretedBackend)
+        finally:
+            configure()
+        assert default_backend() == "compiled"
