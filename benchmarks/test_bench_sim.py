@@ -1,0 +1,137 @@
+"""ISA-simulator fast-path benchmark: the Table 6 kernel suite.
+
+The acceptance property of the predecoded dispatch: running the whole
+kernel suite (pre-assembled, inputs pre-drawn, so only simulation is
+measured) is at least 5x faster than the single-step reference loop,
+with bit-identical results.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): single repetition
+with a reduced transaction count and no speedup threshold -- it checks
+that both paths run and agree, not how fast the runner machine is.
+Run locally with ``pytest benchmarks/test_bench_sim.py -s`` for the
+timing report.
+
+Set ``REPRO_BENCH_SIM_JSON=<path>`` to emit a machine-readable
+``BENCH_SIM.json`` summary (CI uploads it with the obs artifacts).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_result
+from repro.kernels.kernel import Target
+from repro.kernels.suite import SUITE
+from repro.sim import clear_predecode_cache, run_program
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+TRANSACTIONS = 2 if SMOKE else 12
+REPEATS = 1 if SMOKE else 3
+#: Suite passes per timing sample (amortizes the clock resolution).
+LOOPS = 1 if SMOKE else 5
+ACCEPTANCE = 5.0
+
+
+def suite_cases():
+    """(kernel name, assembled program, inputs) for every suite kernel,
+    prepared up front so the timed region is simulation only."""
+    target = Target.named("flexicore4")
+    rng = np.random.default_rng(2022)
+    return [
+        (
+            kernel.name,
+            kernel.program(target),
+            kernel.generate_inputs(rng, TRANSACTIONS),
+        )
+        for kernel in SUITE
+    ]
+
+
+def run_suite(cases, fastpath):
+    """One pass over the suite; returns total retired instructions."""
+    total = 0
+    for _, program, inputs in cases:
+        result, _ = run_program(
+            program, inputs=list(inputs), fastpath=fastpath,
+        )
+        total += result.instructions
+    return total
+
+
+def _best_seconds(cases, fastpath):
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(LOOPS):
+            run_suite(cases, fastpath)
+        best = min(best, (time.perf_counter() - started) / LOOPS)
+    return best
+
+
+class TestFastPathSpeedup:
+    def test_fastpath_is_5x_faster(self):
+        """Acceptance: predecoded dispatch beats the step loop 5x."""
+        cases = suite_cases()
+        clear_predecode_cache()
+        # Warm both paths once: the first fast run builds the tables
+        # (steady state is what DSE sweeps and fault campaigns see) and
+        # the totals double as an equivalence check.
+        fast_total = run_suite(cases, fastpath=True)
+        ref_total = run_suite(cases, fastpath=False)
+        assert fast_total == ref_total
+
+        reference_s = _best_seconds(cases, fastpath=False)
+        fastpath_s = _best_seconds(cases, fastpath=True)
+        ratio = reference_s / fastpath_s
+        if not SMOKE:
+            assert ratio >= ACCEPTANCE, (reference_s, fastpath_s)
+
+        payload = {
+            "suite": [name for name, _, _ in cases],
+            "transactions": TRANSACTIONS,
+            "instructions_per_pass": ref_total,
+            "reference_s": reference_s,
+            "fastpath_s": fastpath_s,
+            "speedup": ratio,
+            "reference_ips": ref_total / reference_s,
+            "fastpath_ips": fast_total / fastpath_s,
+            "acceptance": ACCEPTANCE,
+            "smoke": SMOKE,
+        }
+        artifact = os.environ.get("REPRO_BENCH_SIM_JSON")
+        if artifact:
+            with open(artifact, "w") as handle:
+                json.dump(payload, handle, indent=2)
+        print_result(
+            f"ISA fast-path speedup (Table 6 suite, flexicore4, "
+            f"{TRANSACTIONS} transactions, {ref_total} instructions)",
+            f"reference {reference_s * 1e3:8.1f} ms "
+            f"({payload['reference_ips']:,.0f} instr/s)\n"
+            f"predecode {fastpath_s * 1e3:8.1f} ms "
+            f"({payload['fastpath_ips']:,.0f} instr/s)\n"
+            f"ratio     {ratio:8.1f}x (acceptance: >= {ACCEPTANCE:.0f}x"
+            f"{', smoke: unchecked' if SMOKE else ''})",
+        )
+
+    def test_fastpath_suite_bench(self, benchmark):
+        """Steady-state cost of the predecoded suite pass."""
+        cases = suite_cases()
+        run_suite(cases, fastpath=True)  # build tables outside the timer
+        total = benchmark.pedantic(
+            lambda: run_suite(cases, fastpath=True),
+            rounds=REPEATS, iterations=1,
+        )
+        assert total > 0
+
+    def test_reference_suite_bench(self, benchmark):
+        """Reference cost of the step-loop suite pass (recorded in the
+        same benchmark JSON so the speedup is computable from artifacts
+        alone)."""
+        cases = suite_cases()
+        total = benchmark.pedantic(
+            lambda: run_suite(cases, fastpath=False),
+            rounds=REPEATS, iterations=1,
+        )
+        assert total > 0

@@ -115,10 +115,10 @@ def _design_static(design):
     return netlist, report
 
 
-def _run_kernel(kernel, target, transactions, seed):
+def _run_kernel(kernel, target, transactions, seed, fastpath=None):
     rng = np.random.default_rng(seed)
     inputs = kernel.generate_inputs(rng, transactions)
-    result = kernel.check(target, inputs)
+    result = kernel.check(target, inputs, fastpath=fastpath)
     program = kernel.program(target)
     return program, result.stats
 
@@ -180,7 +180,8 @@ def gate_level_check(design, backend=None, cycles=64, seed=2022):
 
 
 def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
-                    bus_bits=None, gate_check=False, backend=None):
+                    bus_bits=None, gate_check=False, backend=None,
+                    fastpath=None):
     """Measure one design point over the whole Table 6 suite.
 
     ``bus_bits`` restricts the program-memory bus (Figure 13's "(Bus)"
@@ -188,11 +189,13 @@ def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
     to fetch one instruction per cycle, as the paper assumes first.
     With ``gate_check=True`` the metrics also carry a
     :func:`gate_level_check` run on the selected simulation ``backend``.
+    ``fastpath=False`` forces the reference ISA-simulator step loop for
+    the kernel runs.
     """
     started = time.perf_counter()
     with obs.span("dse.evaluate", design=design.name):
         metrics = _evaluate_design(
-            design, transactions, seed, vdd, bus_bits
+            design, transactions, seed, vdd, bus_bits, fastpath
         )
         if gate_check:
             metrics.gate_check = gate_level_check(
@@ -210,7 +213,8 @@ def evaluate_design(design, transactions=12, seed=2022, vdd=4.5,
     return metrics
 
 
-def _evaluate_design(design, transactions, seed, vdd, bus_bits):
+def _evaluate_design(design, transactions, seed, vdd, bus_bits,
+                     fastpath=None):
     netlist, report = _design_static(design)
     punits = period_units(report, design.microarch)
     period_s = punits * SECONDS_PER_DELAY_UNIT
@@ -246,7 +250,9 @@ def _evaluate_design(design, transactions, seed, vdd, bus_bits):
         and effective_bus < min_instr_bits
     )
     for kernel in SUITE:
-        program, stats = _run_kernel(kernel, target, transactions, seed)
+        program, stats = _run_kernel(
+            kernel, target, transactions, seed, fastpath=fastpath,
+        )
         if design.microarch == MicroArch.MULTICYCLE:
             # The multicycle load-store machine trades its second register
             # port for an extra operand-read cycle (Section 6.2): CPI 3
@@ -289,20 +295,23 @@ def evaluate_design_job(params, seed):
         bus_bits=params["bus_bits"],
         gate_check=params.get("gate_check", False),
         backend=params.get("backend"),
+        fastpath=params.get("fastpath"),
     )
 
 
 def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
                  bus_bits=None, engine=None, gate_check=False,
-                 backend=None):
+                 backend=None, fastpath=None):
     """Evaluate a set of designs; returns {design name: DesignMetrics}.
 
     Each design point is one engine job: with ``engine`` (or the
     process-wide default) configured for multiple workers the designs
     evaluate in parallel, and with a cache the whole sweep is a lookup.
     ``gate_check``/``backend`` thread through to
-    :func:`evaluate_design`; the gate-check knobs join the cache key
-    only when enabled, so existing cached sweeps stay valid.
+    :func:`evaluate_design`; the gate-check knobs -- and a non-default
+    ``fastpath`` -- join the cache key only when set, so existing
+    cached sweeps stay valid (both simulator paths are bit-identical,
+    so the cached value is too).
     """
     jobs = [
         Job(
@@ -310,7 +319,8 @@ def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
             {"design": design, "transactions": transactions,
              "seed": seed, "bus_bits": bus_bits,
              **({"gate_check": True, "backend": backend or
-                 default_backend()} if gate_check else {})},
+                 default_backend()} if gate_check else {}),
+             **({"fastpath": fastpath} if fastpath is not None else {})},
             label=f"dse:{design.name}"
                   + (f":bus{bus_bits}" if bus_bits else ""),
         )

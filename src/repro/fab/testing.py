@@ -121,7 +121,8 @@ def sample_fault_sites(netlist, rng, count):
 
 
 def fault_injection_study(netlist, isa, rng, faults=20,
-                          max_instructions=300, backend=None):
+                          max_instructions=300, backend=None,
+                          fastpath=True):
     """Inject random stuck-at faults and check the vectors catch them.
 
     This grounds the yield model: a die with any structural defect is
@@ -131,7 +132,8 @@ def fault_injection_study(netlist, isa, rng, faults=20,
     The fault list is packed into the lanes of the selected
     :mod:`repro.netlist.backend` -- with the default compiled backend a
     whole 64-fault chunk is one simulation run instead of 64 separate
-    cross-checks.
+    cross-checks.  ``fastpath`` selects the predecoded ISA replay
+    (``False`` keeps the per-instruction decode reference).
     """
     program = directed_program(isa)
     inputs = [int(rng.integers(0, 16)) for _ in range(64)]
@@ -143,7 +145,7 @@ def fault_injection_study(netlist, isa, rng, faults=20,
         results = run_cross_check_batch(
             netlist, isa, program, inputs=inputs,
             max_instructions=max_instructions,
-            faults=sites, backend=backend,
+            faults=sites, backend=backend, fastpath=fastpath,
         )
         for (gate_name, stuck), result in zip(sites, results):
             caught = not result.passed
@@ -167,7 +169,7 @@ def fault_injection_study(netlist, isa, rng, faults=20,
 
 
 def toggle_coverage_study(netlist, isa, rng, instructions=2000,
-                          backend=None):
+                          backend=None, fastpath=True):
     """Run the directed program long enough to measure toggle coverage,
     the Section 4.1 metric."""
     program = directed_program(isa)
@@ -177,6 +179,7 @@ def toggle_coverage_study(netlist, isa, rng, instructions=2000,
         result = run_cross_check(
             netlist, isa, program, inputs=inputs,
             max_instructions=instructions, backend=backend,
+            fastpath=fastpath,
         )
     return result
 
@@ -206,6 +209,7 @@ def fault_study_job(params, seed):
         faults=params["faults"],
         max_instructions=params.get("max_instructions", 300),
         backend=params["backend"],
+        fastpath=params.get("fastpath", True),
     )
     return {
         "injected": study.injected,

@@ -119,50 +119,69 @@ class FabricatedWafer:
     timing_report: object  # repro.netlist.sta.TimingReport
 
     def probe(self, voltage, rng, frequency_hz=FMAX_HZ):
-        """Probe every die at ``voltage`` (the paper probes 3 V and 4.5 V)."""
+        """Probe every die at ``voltage`` (the paper probes 3 V and 4.5 V).
+
+        Field-batched Monte Carlo: every noise field is a single
+        generator call over all die sites (one defect-error draw, one
+        timing-error draw, one defect-current draw), and the
+        pass/fail classification runs as array arithmetic.  The scalar
+        path drew lazily per failing die, so the random stream is
+        consumed in a different order -- the distributions are
+        identical, and the Table 5 calibration tests pin the result.
+        """
         point = OperatingPoint(
             vdd=voltage, refined_pullups=self.process.refined_pullups
         )
         base_power = static_power_w(self.base_pullups, point)
+        dies = self.dies
+        n = len(dies)
+        speed = np.array([die.speed_factor for die in dies])
+        defects = np.array([die.defects for die in dies])
+        factors = np.array([die.current_factor for die in dies])
+        has_defect = defects > 0
+        # ``period_s`` associates as ((units*SPD)*delay_factor)*speed,
+        # so base_period * speed is float-identical to the per-die call.
+        base_period = self.timing_report.period_s(voltage, 1.0)
+        meets_timing = 1.0 / (base_period * speed) >= frequency_hz
+        functional = ~has_defect & meets_timing
+        # A structural fault corrupts a large share of vectors; a
+        # timing miss produces errors growing with the shortfall.
+        defect_noise = np.exp(rng.normal(9.0, 1.8, size=n))
+        timing_noise = np.exp(rng.normal(7.0, 1.2, size=n))
+        current_noise = np.exp(rng.normal(0.0, 0.35, size=n))
+        defect_errors = np.maximum(
+            np.minimum(TEST_CYCLES, defect_noise * defects)
+            .astype(np.int64),
+            1,
+        )
+        shortfall = base_period * speed * frequency_hz - 1.0
+        timing_errors = np.minimum(
+            TEST_CYCLES, np.maximum(1.0, shortfall * timing_noise)
+        ).astype(np.int64)
+        # P ~ V^2 through the pull-ups, so I = P/V scales linearly in
+        # V -- matching the measured 1.1 mA @ 4.5 V vs 0.73 mA @ 3 V.
+        # Shorts/opens push a defective die's current either way.
+        current_a = base_power / voltage * factors
+        current_ma = np.where(
+            has_defect, current_a * current_noise, current_a
+        ) * 1e3
+
         records = []
-        for die in self.dies:
-            meets_timing = self.timing_report.meets(
-                frequency_hz, vdd=voltage, speed_factor=die.speed_factor
-            )
-            functional = (not die.has_defect) and meets_timing
-            if functional:
+        for index, die in enumerate(dies):
+            if functional[index]:
                 errors = 0
                 mode = None
-            elif die.has_defect:
-                # A structural fault corrupts a large share of vectors.
-                errors = int(min(
-                    TEST_CYCLES,
-                    np.exp(rng.normal(9.0, 1.8)) * die.defects,
-                ))
-                errors = max(errors, 1)
+            elif has_defect[index]:
+                errors = int(defect_errors[index])
                 mode = "defect"
             else:
-                # Timing miss: error count grows with the shortfall.
-                shortfall = (
-                    self.timing_report.period_s(voltage, die.speed_factor)
-                    * frequency_hz
-                ) - 1.0
-                errors = int(min(
-                    TEST_CYCLES,
-                    max(1.0, shortfall * np.exp(rng.normal(7.0, 1.2))),
-                ))
+                errors = int(timing_errors[index])
                 mode = "timing"
-            # P ~ V^2 through the pull-ups, so I = P/V scales linearly in
-            # V -- matching the measured 1.1 mA @ 4.5 V vs 0.73 mA @ 3 V.
-            current_a = base_power / voltage * die.current_factor
-            if die.has_defect:
-                # Shorts/opens push current either way.
-                current_a *= float(np.exp(rng.normal(0.0, 0.35)))
             records.append(ProbeRecord(
                 site=die.site,
-                functional=functional,
+                functional=bool(functional[index]),
                 errors=errors,
-                current_ma=current_a * 1e3,
+                current_ma=float(current_ma[index]),
                 failure_mode=mode,
             ))
         result = WaferProbeResult(voltage=voltage, records=records)
@@ -198,32 +217,45 @@ def _fold_probe(result):
 
 
 def fabricate_wafer(netlist, process, rng, wafer=None, timing_report=None):
-    """Roll one wafer of ``netlist`` dies under ``process``."""
+    """Roll one wafer of ``netlist`` dies under ``process``.
+
+    Field-batched: one Poisson draw over every die site's defect rate,
+    one lognormal draw per variation field (speed, static current), so
+    a wafer costs three generator calls instead of three per die.  The
+    per-die draw order of the scalar version is not preserved; the
+    distributions are, and the calibration tests pin the Table 5
+    yields and current spreads.
+    """
     from repro.netlist.sta import analyze
 
     wafer = wafer or Wafer.standard()
     timing_report = timing_report or analyze(netlist)
     area_mm2 = netlist.area_mm2
-    radius = max(site.radius_mm for site in wafer.sites) or 1.0
-    dies = []
-    for site in wafer.sites:
-        density = process.defect_density_per_mm2
-        speed_mu = 0.0
-        if not site.in_inclusion_zone:
-            density *= process.edge_defect_multiplier
-            speed_mu = math.log(process.edge_speed_penalty)
-        defects = int(rng.poisson(density * area_mm2))
-        speed = float(np.exp(rng.normal(speed_mu, process.speed_sigma)))
-        radial = 1.0 + process.radial_current_gradient * (
-            site.radius_mm / radius
-        ) ** 2
-        current = radial * float(
-            np.exp(rng.normal(0.0, process.current_sigma))
+    sites = wafer.sites
+    radius = max(site.radius_mm for site in sites) or 1.0
+    edge = np.array([not site.in_inclusion_zone for site in sites])
+    density = np.where(
+        edge,
+        process.defect_density_per_mm2 * process.edge_defect_multiplier,
+        process.defect_density_per_mm2,
+    )
+    speed_mu = np.where(edge, math.log(process.edge_speed_penalty), 0.0)
+    radii = np.array([site.radius_mm for site in sites])
+    radial = 1.0 + process.radial_current_gradient * (radii / radius) ** 2
+
+    defects = rng.poisson(density * area_mm2)
+    speeds = np.exp(rng.normal(speed_mu, process.speed_sigma))
+    currents = radial * np.exp(
+        rng.normal(0.0, process.current_sigma, size=len(sites))
+    )
+    dies = [
+        Die(
+            site=site, defects=int(defect),
+            speed_factor=float(speed), current_factor=float(current),
         )
-        dies.append(Die(
-            site=site, defects=defects,
-            speed_factor=speed, current_factor=current,
-        ))
+        for site, defect, speed, current
+        in zip(sites, defects, speeds, currents)
+    ]
     return FabricatedWafer(
         wafer=wafer, process=process, dies=dies,
         base_pullups=netlist.pullups, timing_report=timing_report,
@@ -284,10 +316,16 @@ def _core_static(core):
     return netlist, analyze(netlist)
 
 
-@job_function("fab.wafer_yield", version="1")
+@job_function("fab.wafer_yield", version="2")
 def wafer_yield_job(params, seed):
     """Engine job: fabricate one wafer of ``params['core']`` and probe
-    it at every voltage, returning compact per-voltage buckets."""
+    it at every voltage, returning compact per-voltage buckets.
+
+    Version 2: the wafer Monte Carlo draws are field-batched, which
+    consumes the seed stream in a different order than version 1 --
+    the version bump invalidates cached version-1 wafers so a cached
+    sweep can never mix the two draw orders.
+    """
     with obs.span("fab.wafer_yield", core=params["core"]):
         netlist, report = _core_static(params["core"])
         rng = seed.rng()
@@ -304,10 +342,13 @@ def wafer_yield_job(params, seed):
         return buckets
 
 
-@job_function("fab.probed_wafer", version="1")
+@job_function("fab.probed_wafer", version="2")
 def probed_wafer_job(params, seed):
     """Engine job: one fabricated wafer with its full probe records
-    (the Figure 6/7 wafer maps need every die, not just the counts)."""
+    (the Figure 6/7 wafer maps need every die, not just the counts).
+
+    Version 2: field-batched Monte Carlo draws (see
+    :func:`wafer_yield_job`)."""
     with obs.span("fab.probed_wafer", core=params["core"]):
         netlist, report = _core_static(params["core"])
         rng = seed.rng()

@@ -39,6 +39,11 @@ class CoreState:
         self.width = width
         self.mem_words = mem_words
         self.pc_bits = pc_bits
+        # Plain attributes, not properties: the semantic functions read
+        # these once or twice per executed instruction, and the widths
+        # never change after construction.
+        self.word_mask = bits.mask(width)
+        self.pc_mask = bits.mask(pc_bits)
         self.acc = 0
         self.pc = 0
         self.carry = 0
@@ -58,14 +63,6 @@ class CoreState:
     # ------------------------------------------------------------------
     # Register/memory access helpers used by semantic functions.
     # ------------------------------------------------------------------
-
-    @property
-    def word_mask(self):
-        return bits.mask(self.width)
-
-    @property
-    def pc_mask(self):
-        return bits.mask(self.pc_bits)
 
     def set_acc(self, value):
         self.acc = value & self.word_mask

@@ -84,25 +84,30 @@ class Kernel:
     def generate_inputs(self, rng, transactions):
         return self.input_fn(rng, transactions)
 
-    def run(self, target, inputs, max_cycles=2_000_000):
+    def run(self, target, inputs, max_cycles=2_000_000, fastpath=None):
         """Assemble, simulate on ``inputs`` and return (result, outputs).
 
         The program is driven until it reads past the final sample (the
-        idiomatic end for streaming kernels) or halts.
+        idiomatic end for streaming kernels) or halts.  ``fastpath=False``
+        forces the reference step loop (the default runs the predecoded
+        dispatch, which is bit-identical).
         """
         program = self.program(target)
         result, sink = run_program(
             program, inputs=inputs, max_cycles=max_cycles,
+            fastpath=fastpath,
         )
         return result, sink.values
 
-    def check(self, target, inputs, max_cycles=2_000_000):
+    def check(self, target, inputs, max_cycles=2_000_000, fastpath=None):
         """Run and compare against the golden model.
 
         Returns the :class:`~repro.sim.simulator.RunResult`; raises
         AssertionError with a diff on mismatch.
         """
-        result, outputs = self.run(target, inputs, max_cycles=max_cycles)
+        result, outputs = self.run(
+            target, inputs, max_cycles=max_cycles, fastpath=fastpath,
+        )
         expected = self.expected(inputs)
         if outputs != expected:
             raise AssertionError(

@@ -35,7 +35,7 @@ class CrossCheckResult:
 
 
 def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
-                    fault=None, backend=None):
+                    fault=None, backend=None, fastpath=True):
     """Run ``program`` on both models, comparing PC and OPORT.
 
     ``inputs`` is a list of IPORT samples presented as a held level and
@@ -44,7 +44,10 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
     fault: a ``(gate_name, value)`` pair forcing that gate's output --
     used by the yield model's fault-detection tests.  ``backend`` names
     the gate-level simulation backend (``"interpreted"`` /
-    ``"compiled"``; ``None`` uses the process default).
+    ``"compiled"``; ``None`` uses the process default).  ``fastpath``
+    replays the ISA side through the predecoded page table (decode once
+    per program instead of once per instruction); ``False`` keeps the
+    per-instruction ``isa.decode`` reference replay.
 
     Only single-page programs can be cross-checked (the gate-level core
     is the bare die; the MMU is a separate component).
@@ -52,12 +55,13 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
     return run_cross_check_batch(
         netlist, isa, program, inputs=inputs,
         max_instructions=max_instructions, faults=[fault],
-        backend=backend,
+        backend=backend, fastpath=fastpath,
     )[0]
 
 
 def run_cross_check_batch(netlist, isa, program, inputs=None,
-                          max_instructions=500, faults=None, backend=None):
+                          max_instructions=500, faults=None, backend=None,
+                          fastpath=True):
     """Cross-check one fault per lane, all in as few runs as possible.
 
     ``faults`` is a sequence whose entries are ``None`` (healthy lane)
@@ -82,14 +86,27 @@ def run_cross_check_batch(netlist, isa, program, inputs=None,
         results.extend(_drive_chunk(
             backend_cls, netlist, isa, image, input_values,
             max_instructions, fault_list[start:start + chunk],
+            fastpath,
         ))
     return results
 
 
 def _drive_chunk(backend_cls, netlist, isa, image, input_values,
-                 max_instructions, faults):
-    """One backend run: ``len(faults)`` lanes against one ISA replay."""
+                 max_instructions, faults, fastpath=True):
+    """One backend run: ``len(faults)`` lanes against one ISA replay.
+
+    With ``fastpath`` the replay pulls each instruction (semantics,
+    size, input-port read flag) from the page-0 predecode table, so the
+    whole fault campaign decodes the program once; the ``fastpath=False``
+    reference re-runs ``isa.decode`` every instruction.
+    """
     from repro.isa.state import IPORT_ADDR
+
+    table = None
+    if fastpath:
+        from repro.sim.predecode import predecode_image
+
+        table = predecode_image(isa, image).page(0)
 
     lanes = len(faults)
     gate_sim = backend_cls(netlist, lanes=lanes)
@@ -127,15 +144,23 @@ def _drive_chunk(backend_cls, netlist, isa, image, input_values,
                         f"oport gate={oport_lanes[lane]} isa={isa_oport}"
                     )
         # ---- step the ISA model ----
-        decoded = isa.decode(
-            image + bytes(4), state.pc  # wrap margin
-        )
+        if table is not None:
+            decoded = table.decoded[state.pc]
+            if decoded is None:
+                isa.decode(image + bytes(4), state.pc)  # raise faithfully
+            will_read_input = table.reads_iport[state.pc]
+        else:
+            decoded = isa.decode(
+                image + bytes(4), state.pc  # wrap margin
+            )
+            will_read_input = decoded.mnemonic != "store" and any(
+                spec.kind.name == "MEMADDR" and operand == IPORT_ADDR
+                for spec, operand in zip(
+                    decoded.spec.operands, decoded.operands
+                )
+            )
         # Present the IPORT value this instruction would read, if any.
         gate_input = 0
-        will_read_input = decoded.mnemonic != "store" and any(
-            spec.kind.name == "MEMADDR" and operand == IPORT_ADDR
-            for spec, operand in zip(decoded.spec.operands, decoded.operands)
-        )
         if will_read_input and cursor["gate"] < len(input_values):
             gate_input = input_values[cursor["gate"]]
             cursor["gate"] += 1

@@ -1,6 +1,17 @@
 """Functional simulation: cores, program memory, MMU, peripherals, timing."""
 
+from repro.sim.dispatch import (
+    DISPATCHES,
+    configure as configure_dispatch,
+    default_dispatch,
+    resolve_dispatch,
+)
 from repro.sim.memory import ProgramMemory
+from repro.sim.predecode import (
+    PredecodedProgram,
+    clear_cache as clear_predecode_cache,
+    predecode_image,
+)
 from repro.sim.mmu import ARM_COUNT, Mmu, PAGE_SWITCH_DELAY
 from repro.sim.peripherals import (
     HeldInput,
@@ -30,6 +41,7 @@ from repro.sim.timing import (
 
 __all__ = [
     "ARM_COUNT",
+    "DISPATCHES",
     "ExecStats",
     "ExecutionEstimate",
     "HeldInput",
@@ -40,13 +52,19 @@ __all__ = [
     "Mmu",
     "OutputSink",
     "PAGE_SWITCH_DELAY",
+    "PredecodedProgram",
     "ProgramMemory",
     "RunResult",
     "SimulationError",
     "Simulator",
     "TraceEntry",
     "Tracer",
+    "clear_predecode_cache",
+    "configure_dispatch",
     "cycle_count",
+    "default_dispatch",
+    "predecode_image",
+    "resolve_dispatch",
     "trace_program",
     "cycles_multicycle",
     "cycles_pipelined",

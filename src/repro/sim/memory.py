@@ -8,6 +8,11 @@ an :class:`~repro.sim.mmu.Mmu` it serves multi-page programs.
 
 from repro.asm.assembler import MAX_PAGES, PAGE_SIZE
 
+#: What a fetch from a page the image never wrote returns: zero-filled
+#: ROM, long enough for the longest instruction.
+_WINDOW_BYTES = 4
+_ZERO_WINDOW = bytes(_WINDOW_BYTES)
+
 
 class ProgramMemory:
     """External program memory, optionally behind an MMU page register."""
@@ -22,6 +27,26 @@ class ProgramMemory:
             )
         self._image = bytes(image)
         self.mmu = mmu
+        self._windows = None
+
+    def _build_windows(self):
+        """Precompute every per-page wrap-around fetch window.
+
+        One slice per page offset, built lazily on the first fetch, so
+        :meth:`fetch_window` never assembles a window byte-by-byte on
+        the per-instruction path -- and the predecoded dispatch, which
+        never fetches, pays nothing at all.
+        """
+        windows = []
+        for page in range(self.pages):
+            blob = self._image[page * PAGE_SIZE:(page + 1) * PAGE_SIZE]
+            blob = blob + bytes(PAGE_SIZE - len(blob))
+            wrapped = blob + blob[:_WINDOW_BYTES - 1]
+            windows.append([
+                wrapped[offset:offset + _WINDOW_BYTES]
+                for offset in range(PAGE_SIZE)
+            ])
+        return windows
 
     @classmethod
     def from_program(cls, program, mmu=None):
@@ -44,11 +69,14 @@ class ProgramMemory:
         Called once per instruction; advances the MMU's page-switch delay
         counter.  The returned window is long enough for the longest
         instruction and wraps within the page, like the hardware PC does.
+        Windows are precomputed per page, so this is two lookups; a page
+        the image never wrote reads as zero-filled ROM.
         """
         page = self.mmu.on_fetch() if self.mmu is not None else 0
-        base = page * PAGE_SIZE
-        window = bytearray()
-        for i in range(4):  # longest instruction is 2 bytes; margin for wrap
-            addr = base + ((pc + i) & (PAGE_SIZE - 1))
-            window.append(self._image[addr] if addr < len(self._image) else 0)
-        return base + (pc & (PAGE_SIZE - 1)), bytes(window)
+        offset = pc & (PAGE_SIZE - 1)
+        windows = self._windows
+        if windows is None:
+            windows = self._windows = self._build_windows()
+        window = windows[page][offset] if page < len(windows) \
+            else _ZERO_WINDOW
+        return page * PAGE_SIZE + offset, window

@@ -19,9 +19,10 @@ from typing import Dict, Optional
 
 from repro import obs
 from repro.isa.model import InstrClass
+from repro.sim.dispatch import resolve_dispatch
 from repro.sim.memory import ProgramMemory
 from repro.sim.mmu import Mmu
-from repro.sim.peripherals import InputExhausted, OutputSink
+from repro.sim.peripherals import OutputSink
 
 
 class SimulationError(Exception):
@@ -94,6 +95,12 @@ class Simulator:
     halt_on_self_branch:
         Treat a taken branch whose target is its own address as program
         completion (the base-ISA halt idiom).
+
+    Execution paths.  :meth:`run` drives the program through a pluggable
+    :mod:`repro.sim.dispatch` strategy -- by default the predecoded fast
+    path, which is bit-identical to the reference but decodes each page
+    only once.  :meth:`step` is the single-step reference used for
+    traces, debugging, and the ``"reference"`` dispatch.
     """
 
     def __init__(self, isa, program, input_fn=None, output=None,
@@ -123,6 +130,9 @@ class Simulator:
             )
         self.halt_on_self_branch = halt_on_self_branch
         self.stats = ExecStats()
+        #: Why the last halt happened; per-instance so a stale
+        #: "self_branch" can never leak across simulators or resets.
+        self._halt_reason = "halt"
         if hasattr(self.output, "bind_clock"):
             self.output.bind_clock(lambda: self.stats.instructions)
 
@@ -160,21 +170,19 @@ class Simulator:
             self._halt_reason = "halt"
         return decoded
 
-    _halt_reason = "halt"
-
-    def run(self, max_cycles=1_000_000):
+    def run(self, max_cycles=1_000_000, dispatch=None, fastpath=None):
         """Run until the program halts (see class docstring) or the cycle
-        budget is exhausted."""
-        reason = "max_cycles"
-        while self.stats.instructions < max_cycles:
-            try:
-                self.step()
-            except InputExhausted:
-                reason = "input_exhausted"
-                break
-            if self.state.halted:
-                reason = self._halt_reason
-                break
+        budget is exhausted.
+
+        ``dispatch`` selects the execution strategy by name
+        (``"predecode"`` / ``"reference"``; ``None`` uses the process
+        default).  ``fastpath`` is boolean sugar: ``False`` forces the
+        reference step loop, ``True`` the predecoded fast path.
+        """
+        if dispatch is None and fastpath is not None:
+            dispatch = "predecode" if fastpath else "reference"
+        runner = resolve_dispatch(dispatch)
+        reason = runner(self, max_cycles)
         if self.mmu is not None:
             self.stats.page_switches = self.mmu.page_switches
         self.stats.io_reads = self.state.io_reads
@@ -190,6 +198,7 @@ class Simulator:
     def reset(self):
         self.state.reset()
         self.stats = ExecStats()
+        self._halt_reason = "halt"
         if self.mmu is not None:
             self.mmu.reset()
 
@@ -229,10 +238,12 @@ def _fold_exec_stats(stats, reason):
 
 
 def run_program(program, isa=None, inputs=None, max_cycles=1_000_000,
-                on_exhausted="raise"):
+                on_exhausted="raise", fastpath=None):
     """One-shot helper: run ``program`` and return (RunResult, OutputSink).
 
     ``inputs`` may be an iterable of samples or a ready-made callable.
+    ``fastpath=False`` forces the reference step loop (the default runs
+    the predecoded dispatch, which is bit-identical and much faster).
     """
     from repro.sim.peripherals import InputStream
 
@@ -246,5 +257,5 @@ def run_program(program, isa=None, inputs=None, max_cycles=1_000_000,
         )
     sink = OutputSink()
     simulator = Simulator(isa, program, input_fn=input_fn, output=sink)
-    result = simulator.run(max_cycles=max_cycles)
+    result = simulator.run(max_cycles=max_cycles, fastpath=fastpath)
     return result, sink

@@ -156,6 +156,25 @@ class TestProgramMemory:
         assert base == 127
         assert window[1] == 0  # wrapped to page-local address 0
 
+    def test_fetch_wrap_carries_page_start_bytes(self):
+        # The precomputed windows must wrap to the *same page's* start,
+        # not the next page's bytes.
+        image = bytes([0xAA]) + bytes(126) + bytes([0xBB]) \
+            + bytes([0xCC]) + bytes(127)
+        memory = ProgramMemory(image)
+        _, window = memory.fetch_window(127)
+        assert window[0] == 0xBB
+        assert window[1] == 0xAA  # page 0's byte 0, not page 1's 0xCC
+
+    def test_fetch_beyond_image_reads_zero_rom(self):
+        from repro.sim.mmu import Mmu
+
+        mmu = Mmu(port_width=4)
+        memory = ProgramMemory(bytes([0x11] * 128), mmu)
+        mmu.page = 3  # beyond the 1-page image
+        _, window = memory.fetch_window(5)
+        assert window == bytes(4)
+
     def test_reset_clears_everything(self):
         program = assemble("load 0\nstore 1\nhalt\n", EXT)
         simulator = Simulator(EXT, program,
@@ -165,6 +184,28 @@ class TestProgramMemory:
         assert simulator.state.pc == 0
         assert simulator.stats.instructions == 0
         assert not simulator.state.halted
+
+
+class TestHaltReason:
+    def test_halt_reason_is_per_instance(self):
+        # Regression: _halt_reason used to be a class attribute; it must
+        # be owned by each instance so one simulator's halt can never
+        # bleed into another's.
+        looping = assemble("nandi 0\nstop: brn stop\n", FC4)
+        first = Simulator(FC4, looping)
+        first.run()
+        assert first._halt_reason == "self_branch"
+        second = Simulator(FC4, looping)
+        assert second._halt_reason == "halt"
+        assert "_halt_reason" not in vars(Simulator)
+
+    def test_reset_restores_halt_reason(self):
+        program = assemble("nandi 0\nstop: brn stop\n", FC4)
+        simulator = Simulator(FC4, program)
+        result = simulator.run()
+        assert result.reason == "self_branch"
+        simulator.reset()
+        assert simulator._halt_reason == "halt"
 
 
 class TestErrors:
