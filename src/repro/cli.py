@@ -13,6 +13,7 @@ experiments  print any paper table/figure ('all' for everything)
 report       write EXPERIMENTS.md
 engine       experiment-engine cache statistics / maintenance
 obs          observability: summary / export / tail of the last run
+conform      randomized differential testing of the redundant paths
 
 The heavy experiment commands (``yield``, ``dse``, ``pareto``,
 ``experiments``, ``report``) accept ``--jobs N`` to fan the work over N
@@ -471,6 +472,92 @@ def cmd_obs(args):
     return 2
 
 
+def cmd_conform(args):
+    from repro import conformance
+    from repro.conformance import corpus as corpus_store
+    from repro.engine import Engine
+
+    action = args.conform_action
+
+    if action == "corpus":
+        if getattr(args, "clear", False):
+            count = corpus_store.clear(args.state_dir)
+            print(f"removed {count} corpus entries under "
+                  f"{conformance.corpus_dir(args.state_dir)}")
+            return 0
+        entries = conformance.list_entries(args.state_dir)
+        if not entries:
+            print("conformance corpus is empty "
+                  f"({conformance.corpus_dir(args.state_dir)})")
+            return 0
+        for entry in entries:
+            case = entry["case"]
+            shrink = entry.get("shrink") or {}
+            print(f"{entry['id']}  {case['oracle']:<9} "
+                  f"{case['target']:<14} "
+                  f"shrunk {shrink.get('original_size', '?')}->"
+                  f"{shrink.get('shrunk_size', '?')}  "
+                  f"{entry['divergence']['field']}")
+        print(f"{len(entries)} entries; replay with "
+              "'repro conform replay <id>'")
+        return 0
+
+    if action == "replay":
+        try:
+            entry = conformance.load_entry(args.entry, args.state_dir)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        divergence = conformance.replay_entry(entry)
+        case = entry["case"]
+        print(f"replayed {entry['id']} "
+              f"({case['oracle']} on {case['target']})")
+        if divergence is None:
+            print("  no divergence -- the failure no longer reproduces")
+            return 0
+        print(f"  still diverges: {divergence}")
+        return 1
+
+    # action == "run": a fresh cacheless engine -- every campaign must
+    # execute its cases, never replay a previous campaign's results.
+    engine = Engine(jobs=args.jobs, cache=None)
+    oracles = args.oracles.split(",") if args.oracles else None
+    targets = args.targets.split(",") if args.targets else None
+    try:
+        summary = conformance.run_campaign(
+            args.seed, args.budget, oracle_names=oracles,
+            targets=targets, engine=engine,
+            shrink_budget=args.shrink_budget,
+            state_root=args.state_dir,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"conformance campaign: seed {args.seed}, "
+          f"budget {args.budget}, {summary['cases']} cases in "
+          f"{summary['elapsed_s']:.1f} s")
+    print(f"{'oracle':<10} {'target':<14} {'cases':>6} {'diverged':>9}")
+    for item in summary["slices"]:
+        print(f"{item['oracle']:<10} {item['target']:<14} "
+              f"{item['cases']:6d} {item['divergences']:9d}")
+    if not summary["divergences"]:
+        print("no divergences: all redundant paths agree")
+        return 0
+    print()
+    print(f"{len(summary['divergences'])} divergence(s):")
+    for entry in summary["divergences"]:
+        divergence = entry["divergence"]
+        shrink = entry.get("shrink") or {}
+        print(f"  {entry['id']}: {divergence['oracle']} on "
+              f"{divergence['target']} at {divergence['field']}")
+        print(f"    {divergence['detail'][:200]}")
+        print(f"    shrunk {shrink.get('original_size', '?')} -> "
+              f"{shrink.get('shrunk_size', '?')} items; saved to "
+              f"{entry.get('_path', '(not persisted)')}")
+    print("replay with 'repro conform replay <id>'")
+    return 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexicore",
@@ -598,6 +685,55 @@ def build_parser():
                    help="state directory (default: .repro-state or "
                         "$REPRO_STATE_DIR)")
     p.set_defaults(fn=cmd_obs)
+
+    p = sub.add_parser(
+        "conform",
+        help="randomized differential testing of the redundant paths",
+    )
+    csub = p.add_subparsers(dest="conform_action", required=True)
+
+    c = csub.add_parser(
+        "run", help="run a conformance campaign across the oracles"
+    )
+    c.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    c.add_argument("--budget", type=_positive_int, default=200,
+                   help="case budget per oracle, scaled by oracle cost "
+                        "(default 200)")
+    c.add_argument("--oracles", default=None,
+                   help="comma list of oracles to run (default: all of "
+                        "dispatch, backend, cache, fab, asm)")
+    c.add_argument("--targets", default=None,
+                   help="comma list of targets (default: flexicore4, "
+                        "flexicore8, flexicore4plus where applicable)")
+    c.add_argument("--shrink-budget", type=_positive_int, default=256,
+                   help="oracle re-executions allowed per shrink "
+                        "(default 256)")
+    c.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="worker processes for campaign slices "
+                        "(default 1)")
+    c.add_argument("--state-dir", default=None,
+                   help="state directory for the failure corpus "
+                        "(default: .repro-state or $REPRO_STATE_DIR)")
+    _add_obs_arguments(c)
+    c.set_defaults(fn=cmd_conform)
+
+    c = csub.add_parser(
+        "replay", help="re-execute a persisted failing case"
+    )
+    c.add_argument("entry",
+                   help="corpus entry: a path, an id, or a filename "
+                        "fragment")
+    c.add_argument("--state-dir", default=None)
+    c.set_defaults(fn=cmd_conform)
+
+    c = csub.add_parser(
+        "corpus", help="list (or clear) the failure corpus"
+    )
+    c.add_argument("--clear", action="store_true",
+                   help="delete every persisted corpus entry")
+    c.add_argument("--state-dir", default=None)
+    c.set_defaults(fn=cmd_conform)
 
     return parser
 

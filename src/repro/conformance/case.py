@@ -1,0 +1,172 @@
+"""Conformance cases and divergences (the harness's data model).
+
+A :class:`ConformanceCase` is one randomly generated input to one
+oracle: the oracle name, the target (ISA/core) it runs against, the
+seed token that generated it, and a JSON-safe ``payload`` the oracle
+knows how to execute.  Keeping the payload plain JSON -- instruction
+lists, integer operands, fault-site pairs -- is what makes cases
+shrinkable (delta debugging edits lists, not objects) and replayable
+(the corpus file *is* the case).
+
+A :class:`Divergence` records the first observable disagreement between
+two redundant execution paths: which comparison field differed and a
+human-readable detail of both sides.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class ConformanceCase:
+    """One generated differential-test case."""
+
+    oracle: str
+    target: str
+    seed: Any = None  # ChildSeed token ([entropy, [spawn...]]) or None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "oracle": self.oracle,
+            "target": self.target,
+            "seed": self.seed,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, document):
+        return cls(
+            oracle=document["oracle"],
+            target=document["target"],
+            seed=document.get("seed"),
+            payload=document.get("payload", {}),
+        )
+
+    def digest(self):
+        """Stable short identity of (oracle, target, payload).
+
+        The seed is deliberately excluded: two seeds that generate (or
+        shrink to) the same payload are the same case.
+        """
+        blob = json.dumps(
+            {"oracle": self.oracle, "target": self.target,
+             "payload": self.payload},
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+    def with_payload(self, payload):
+        """A copy of this case carrying a different payload (shrinking)."""
+        return ConformanceCase(
+            oracle=self.oracle, target=self.target,
+            seed=self.seed, payload=payload,
+        )
+
+
+@dataclass
+class Divergence:
+    """The first disagreement an oracle observed between its two paths."""
+
+    oracle: str
+    target: str
+    field: str  # dotted path of the first differing comparison field
+    detail: str  # both sides, rendered for a human
+
+    def to_dict(self):
+        return {
+            "oracle": self.oracle,
+            "target": self.target,
+            "field": self.field,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, document):
+        return cls(
+            oracle=document["oracle"],
+            target=document["target"],
+            field=document["field"],
+            detail=document["detail"],
+        )
+
+    def __str__(self):
+        return (
+            f"{self.oracle}[{self.target}] diverged at "
+            f"{self.field}: {self.detail}"
+        )
+
+
+def _render(value, limit=160):
+    text = repr(value)
+    if len(text) > limit:
+        text = text[:limit] + "..."
+    return text
+
+
+def first_difference(lhs, rhs, path=""):
+    """Depth-first search for the first differing leaf of two plain
+    (JSON-ish) structures.  Returns ``(dotted_path, lhs_leaf, rhs_leaf)``
+    or ``None`` when the structures are identical.
+
+    Comparison is exact: floats must match bit-for-bit, which is the
+    whole point of a differential harness over redundant execution
+    paths (the fast path must not be "close", it must be *identical*).
+    """
+    if type(lhs) is not type(rhs) and not (
+        isinstance(lhs, (int, float)) and isinstance(rhs, (int, float))
+        and not isinstance(lhs, bool) and not isinstance(rhs, bool)
+    ):
+        return path or "<root>", lhs, rhs
+    if isinstance(lhs, dict):
+        for key in sorted(set(lhs) | set(rhs), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in lhs or key not in rhs:
+                return sub, lhs.get(key, "<absent>"), rhs.get(key, "<absent>")
+            found = first_difference(lhs[key], rhs[key], sub)
+            if found:
+                return found
+        return None
+    if isinstance(lhs, (list, tuple)):
+        for index in range(max(len(lhs), len(rhs))):
+            sub = f"{path}[{index}]"
+            if index >= len(lhs) or index >= len(rhs):
+                return (
+                    sub,
+                    lhs[index] if index < len(lhs) else "<absent>",
+                    rhs[index] if index < len(rhs) else "<absent>",
+                )
+            found = first_difference(lhs[index], rhs[index], sub)
+            if found:
+                return found
+        return None
+    if lhs != rhs:
+        return path or "<root>", lhs, rhs
+    return None
+
+
+def compare_observations(case, observations):
+    """Compare named observations pairwise against the first one.
+
+    ``observations`` is ``{path_name: plain_structure}``; the first
+    entry is the reference.  Returns a :class:`Divergence` naming the
+    first differing field, or ``None`` when every path agrees.
+    """
+    names = list(observations)
+    reference_name = names[0]
+    reference = observations[reference_name]
+    for name in names[1:]:
+        found = first_difference(reference, observations[name])
+        if found:
+            where, lhs, rhs = found
+            return Divergence(
+                oracle=case.oracle, target=case.target,
+                field=where,
+                detail=(
+                    f"{reference_name}={_render(lhs)} vs "
+                    f"{name}={_render(rhs)}"
+                ),
+            )
+    return None

@@ -1,0 +1,206 @@
+"""Random-but-valid input generators for the conformance oracles.
+
+Programs are generated as *instruction lists*, not as text: each entry
+is ``{"mnemonic": str, "operands": [...]}`` where a branch-target
+operand is stored as ``{"t": k}`` -- the *index* of the instruction it
+aims at, not a byte offset.  :func:`materialize_source` resolves the
+indices to per-instruction labels at assembly time, clamping out-of-
+range indices to the last instruction.  That representation is what
+makes delta-debugging sound: any sublist of a valid instruction list is
+itself a valid program (removing instructions can never dangle a
+target, because targets are re-resolved against whatever survived).
+
+Two program shapes:
+
+- ``flat`` -- a single-page program (page 0), used by every oracle and
+  the only shape the gate-level cross-check accepts;
+- ``paged`` -- several pages chained with the kernel library's
+  ``%farjump`` MMU escape sequence and terminated with ``%halt``,
+  exercising page switches, the switch-delay shadow, and far branch
+  targets in the functional-simulator oracle.
+
+Fault sites and wafer-process perturbations are sampled here too, so
+every oracle's randomness flows through one seeded generator.
+"""
+
+from dataclasses import replace
+
+from repro.asm.assembler import PAGE_SIZE
+
+#: Mnemonics excluded from random programs: FlexiCore8's stateful
+#: 'load byte' prefix marks the *next fetched byte* as data, which an
+#: instruction-list generator cannot represent (same exclusion as
+#: :func:`repro.fab.testing.random_program`).
+EXCLUDED_MNEMONICS = ("ldb",)
+
+#: Per-page byte budget for generated code, leaving room for the
+#: %farjump escape sequence (~12 bytes) and the %halt idiom.
+PAGE_CODE_BUDGET = 96
+
+#: WaferProcess fields the fab/cache oracles may perturb, with the
+#: sampling range for each (uniform draws).
+PROCESS_FIELD_RANGES = {
+    "defect_density_per_mm2": (0.01, 0.3),
+    "edge_defect_multiplier": (1.0, 20.0),
+    "speed_sigma": (0.02, 0.3),
+    "edge_speed_penalty": (1.0, 1.6),
+    "current_sigma": (0.05, 0.4),
+    "radial_current_gradient": (0.0, 0.15),
+}
+
+
+def random_instructions(isa, rng, length, byte_budget=None):
+    """A list of ``length`` random well-formed instruction dicts.
+
+    Branch targets are instruction indices in ``[0, length)``; operand
+    values are drawn uniformly from each operand's non-negative range
+    (negative immediates alias their unsigned encodings, so nothing is
+    lost).  When ``byte_budget`` is given, the list is truncated to the
+    prefix that fits (instruction sizes are static per spec).
+    """
+    choices = [m for m in isa.mnemonics() if m not in EXCLUDED_MNEMONICS]
+    instructions = []
+    used = 0
+    for _ in range(length):
+        mnemonic = choices[int(rng.integers(0, len(choices)))]
+        spec = isa.spec(mnemonic)
+        if byte_budget is not None and used + spec.size > byte_budget:
+            break
+        used += spec.size
+        operands = []
+        for operand in spec.operands:
+            if operand.kind.name == "TARGET":
+                operands.append({"t": int(rng.integers(0, length))})
+            else:
+                lo = max(operand.lo, 0)
+                operands.append(int(rng.integers(lo, operand.hi + 1)))
+        instructions.append({"mnemonic": mnemonic, "operands": operands})
+    return instructions
+
+
+def random_inputs(isa, rng, count):
+    """``count`` random input-bus samples in the ISA's word range."""
+    high = 1 << isa.word_bits
+    return [int(value) for value in rng.integers(0, high, size=count)]
+
+
+def random_flat_payload(isa, rng, max_instructions=40):
+    """A single-page program payload (shape ``flat``)."""
+    length = int(rng.integers(1, max_instructions + 1))
+    return {
+        "shape": "flat",
+        "instructions": random_instructions(
+            isa, rng, length, byte_budget=PAGE_SIZE - 8
+        ),
+        "inputs": random_inputs(isa, rng, int(rng.integers(0, 17))),
+    }
+
+
+def random_paged_payload(isa, rng, max_pages=3, max_per_page=14):
+    """A multi-page program payload (shape ``paged``): each page holds
+    random instructions and chains to the next with ``%farjump``."""
+    page_count = int(rng.integers(2, max_pages + 1))
+    pages = []
+    for _ in range(page_count):
+        length = int(rng.integers(1, max_per_page + 1))
+        pages.append(random_instructions(
+            isa, rng, length, byte_budget=PAGE_CODE_BUDGET
+        ))
+    return {
+        "shape": "paged",
+        "pages": pages,
+        "inputs": random_inputs(isa, rng, int(rng.integers(0, 17))),
+    }
+
+
+def _format_instruction(instruction, resolve_target):
+    operands = []
+    for operand in instruction["operands"]:
+        if isinstance(operand, dict):
+            operands.append(resolve_target(operand["t"]))
+        else:
+            operands.append(str(operand))
+    text = "    " + instruction["mnemonic"]
+    if operands:
+        text += " " + ", ".join(operands)
+    return text
+
+
+def materialize_source(payload):
+    """Render an instruction-list payload as assembly source text.
+
+    Every instruction gets its own label; target indices resolve to the
+    label of the indexed instruction, clamped into the surviving list
+    (and page-locally for the ``paged`` shape, matching the 7-bit
+    page-local branch targets of the hardware).
+    """
+    if payload.get("shape") == "paged":
+        return _materialize_paged(payload)
+    instructions = payload["instructions"]
+    count = len(instructions)
+    lines = []
+    for index, instruction in enumerate(instructions):
+        lines.append(f"I{index}:")
+        lines.append(_format_instruction(
+            instruction,
+            lambda k: f"I{min(k, count - 1)}",
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def _materialize_paged(payload):
+    pages = payload["pages"]
+    last = len(pages) - 1
+    lines = []
+    for page, instructions in enumerate(pages):
+        count = len(instructions)
+        lines.append(f".page {page}")
+        lines.append(f"P{page}:")
+        for index, instruction in enumerate(instructions):
+            lines.append(f"P{page}I{index}:")
+            lines.append(_format_instruction(
+                instruction,
+                lambda k, p=page, n=count: f"P{p}I{min(k, n - 1)}"
+                if n else f"P{p}",
+            ))
+        if page < last:
+            lines.append(f"    %farjump {page + 1}, P{page + 1}")
+        else:
+            lines.append("    %halt")
+    return "\n".join(lines) + "\n"
+
+
+def random_fault_sites(netlist, rng, count):
+    """``count`` distinct stuck-at sites as JSON-safe pairs."""
+    from repro.fab.testing import sample_fault_sites
+
+    return [[gate, int(stuck)]
+            for gate, stuck in sample_fault_sites(netlist, rng, count)]
+
+
+def random_process(core, rng, fields=2):
+    """A perturbed :class:`~repro.fab.process.WaferProcess` for ``core``.
+
+    Perturbing a couple of fields per case keeps the fab/cache oracles
+    from only ever exercising the two calibrated presets.
+    """
+    from repro.fab.process import process_for
+
+    process = process_for(core)
+    names = sorted(PROCESS_FIELD_RANGES)
+    chosen = rng.choice(len(names), size=min(fields, len(names)),
+                        replace=False)
+    overrides = {}
+    for index in chosen:
+        name = names[int(index)]
+        lo, hi = PROCESS_FIELD_RANGES[name]
+        overrides[name] = float(rng.uniform(lo, hi))
+    return replace(process, **overrides)
+
+
+def random_voltages(rng):
+    """One or two probe voltages from the paper's operating range."""
+    grid = (2.5, 3.0, 3.5, 4.0, 4.5)
+    count = int(rng.integers(1, 3))
+    chosen = rng.choice(len(grid), size=count, replace=False)
+    return sorted(float(grid[int(index)]) for index in chosen)

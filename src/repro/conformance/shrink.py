@@ -1,0 +1,139 @@
+"""Delta-debugging shrinker for failing conformance cases.
+
+Classic ``ddmin`` over the list-valued payload fields (instruction
+lists, per-page instruction lists, input samples, fault sites, probe
+voltages): repeatedly try removing chunks, keeping any removal after
+which the oracle *still* diverges, halving chunk granularity until
+single-element removals stop helping.
+
+The generators store branch targets as instruction indices that are
+re-resolved (and clamped) at materialization, so every sublist of a
+failing instruction list is itself a well-formed program -- the
+shrinker never has to repair references.  An oracle executor that
+*raises* on a candidate counts as still-failing (a crash is at least
+as interesting as a divergence, and the exception is reported as one
+by the runner).
+"""
+
+from copy import deepcopy
+
+#: payload key -> minimum surviving length.  ``pages`` is nested: the
+#: outer page list shrinks to one page, each page's instruction list
+#: shrinks independently to empty.
+SHRINKABLE_FIELDS = {
+    "instructions": 0,
+    "pages": 1,
+    "inputs": 0,
+    "faults": 0,
+    "voltages": 1,
+}
+
+#: Default cap on oracle re-executions during one shrink.
+DEFAULT_SHRINK_BUDGET = 256
+
+
+def payload_size(payload):
+    """Total removable items -- the size the shrink report quotes."""
+    total = 0
+    for key in SHRINKABLE_FIELDS:
+        value = payload.get(key)
+        if not isinstance(value, list):
+            continue
+        if key == "pages":
+            total += sum(len(page) for page in value)
+        else:
+            total += len(value)
+    return total
+
+
+def instruction_count(payload):
+    """Instructions in the payload's program (the acceptance metric)."""
+    if isinstance(payload.get("pages"), list):
+        return sum(len(page) for page in payload["pages"])
+    if isinstance(payload.get("instructions"), list):
+        return len(payload["instructions"])
+    return 0
+
+
+def ddmin_list(items, still_fails, min_len, budget):
+    """Greedy ddmin: the smallest failing sublist found within budget.
+
+    ``still_fails(candidate_list) -> bool``; ``budget`` is a mutable
+    single-element list of remaining oracle executions.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) > min_len:
+        chunk = max(1, (len(items) + granularity - 1) // granularity)
+        removed = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if len(candidate) >= min_len:
+                if budget[0] <= 0:
+                    return items
+                budget[0] -= 1
+                if still_fails(candidate):
+                    items = candidate
+                    granularity = max(2, granularity - 1)
+                    removed = True
+                    break
+            start += chunk
+        if not removed:
+            if chunk <= 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_case(oracle, case, evaluate,
+                budget=DEFAULT_SHRINK_BUDGET):
+    """Shrink ``case.payload`` while the oracle keeps diverging.
+
+    ``evaluate(oracle, case) -> Divergence | None`` is the runner's
+    exception-tolerant executor.  Returns ``(shrunk_payload, report)``
+    where the report carries the before/after sizes and how many
+    oracle executions the shrink spent.
+    """
+    payload = deepcopy(case.payload)
+    remaining = [budget]
+    original_size = payload_size(payload)
+
+    def still_fails_with(candidate_payload):
+        return evaluate(
+            oracle, case.with_payload(candidate_payload)
+        ) is not None
+
+    for key, min_len in SHRINKABLE_FIELDS.items():
+        value = payload.get(key)
+        if not isinstance(value, list) or remaining[0] <= 0:
+            continue
+        if key == "pages":
+            def fails_pages(candidate):
+                return still_fails_with(dict(payload, pages=candidate))
+            payload["pages"] = ddmin_list(
+                value, fails_pages, min_len, remaining
+            )
+            for index, page in enumerate(list(payload["pages"])):
+                def fails_page(candidate, index=index):
+                    pages = list(payload["pages"])
+                    pages[index] = candidate
+                    return still_fails_with(dict(payload, pages=pages))
+                payload["pages"][index] = ddmin_list(
+                    page, fails_page, 0, remaining
+                )
+        else:
+            def fails_field(candidate, key=key):
+                return still_fails_with(dict(payload, **{key: candidate}))
+            payload[key] = ddmin_list(
+                value, fails_field, min_len, remaining
+            )
+
+    report = {
+        "original_size": original_size,
+        "shrunk_size": payload_size(payload),
+        "original_instructions": instruction_count(case.payload),
+        "shrunk_instructions": instruction_count(payload),
+        "executions": budget - remaining[0],
+    }
+    return payload, report

@@ -124,6 +124,7 @@ class ResultCache:
         self.root = Path(root or default_cache_dir())
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # -- addressing ----------------------------------------------------
 
@@ -134,17 +135,45 @@ class ResultCache:
     # -- lookup / store ------------------------------------------------
 
     def get(self, fn_name, key):
-        """(hit, value); a corrupt or unreadable entry counts as a miss."""
-        data_path, _ = self._paths(fn_name, key)
+        """(hit, value); a corrupt or unreadable entry counts as a miss.
+
+        A *corrupt* entry (the pickle exists but does not deserialize --
+        truncated by a crash mid-write, or referencing symbols this
+        checkout no longer has) is quarantined: both the ``.pkl`` and
+        its ``.json`` metadata are deleted so the next ``put`` starts
+        from a clean slot instead of shadowing good data with bad.
+        """
+        data_path, meta_path = self._paths(fn_name, key)
         try:
             with open(data_path, "rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+        except OSError:
+            self.misses += 1
+            return False, None
+        except (pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, ValueError):
+            self._quarantine(fn_name, data_path, meta_path)
             self.misses += 1
             return False, None
         self.hits += 1
         return True, value
+
+    def _quarantine(self, fn_name, data_path, meta_path):
+        self.corrupt += 1
+        for path in (data_path, meta_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            from repro import obs
+            if obs.active():
+                obs.registry().counter(
+                    "engine_cache_corrupt_total",
+                    "Corrupt cache entries quarantined",
+                ).inc(fn=fn_name)
+        except Exception:  # pragma: no cover - obs must never break IO
+            pass
 
     def put(self, fn_name, key, value, meta=None):
         """Atomically store a result (tmp file + rename)."""
@@ -157,15 +186,28 @@ class ResultCache:
             os.replace(tmp, data_path)
         except (OSError, pickle.PicklingError):
             tmp.unlink(missing_ok=True)
+            # Never leave metadata describing a value that was not
+            # stored: a stale .json next to no (or an older) .pkl lies
+            # about what the entry holds.
+            if not data_path.exists():
+                try:
+                    meta_path.unlink()
+                except OSError:
+                    pass
             return False
         entry_meta = {"fn": fn_name, "key": key,
                       "created": time.time()}
         entry_meta.update(meta or {})
+        meta_tmp = meta_path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            with open(meta_path, "w") as handle:
+            with open(meta_tmp, "w") as handle:
                 json.dump(entry_meta, handle, indent=2, default=str)
+            os.replace(meta_tmp, meta_path)
         except OSError:
-            pass
+            try:
+                meta_tmp.unlink()
+            except OSError:
+                pass
         return True
 
     # -- maintenance / reporting ---------------------------------------
@@ -199,6 +241,7 @@ class ResultCache:
             "bytes": total_bytes,
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_corrupt": self.corrupt,
         }
 
     @property

@@ -1,0 +1,140 @@
+"""Scalar reference mirror of the field-batched wafer Monte Carlo.
+
+PR 4 vectorized :func:`repro.fab.yield_model.fabricate_wafer` and
+:meth:`FabricatedWafer.probe` into whole-wafer array arithmetic.  This
+module re-derives the same results die by die in plain Python so the
+conformance harness can check ``vectorized == scalar`` bit-for-bit.
+
+What is shared and what is re-derived:
+
+- **Random draws are shared.**  Both paths must consume the generator
+  stream identically (that equality is part of what the oracle checks),
+  so the mirror issues the *same* array-valued ``rng`` calls in the
+  same order -- including the ``np.exp`` applied to the drawn normals,
+  since a vectorized transcendental is not guaranteed to round like a
+  scalar ``math.exp`` call.
+- **Everything downstream of the draws is re-derived scalar-wise**:
+  defect-density and radial-gradient composition, timing
+  classification, error-count clamping and integer truncation, and the
+  current model all run per die on Python floats, in the same
+  association order as the array expressions.  IEEE-754 double
+  arithmetic is deterministic, so any difference is a real divergence
+  in the vectorized composition, not float noise.
+"""
+
+import math
+
+import numpy as np
+
+from repro.fab.yield_model import (
+    TEST_CYCLES,
+    Die,
+    FabricatedWafer,
+    ProbeRecord,
+    WaferProbeResult,
+)
+from repro.fab.wafer import Wafer
+from repro.tech.power import FMAX_HZ, OperatingPoint, static_power_w
+
+
+def fabricate_wafer_scalar(netlist, process, rng, wafer=None,
+                           timing_report=None):
+    """Scalar mirror of :func:`repro.fab.yield_model.fabricate_wafer`."""
+    from repro.netlist.sta import analyze
+
+    wafer = wafer or Wafer.standard()
+    timing_report = timing_report or analyze(netlist)
+    area_mm2 = netlist.area_mm2
+    sites = wafer.sites
+    radius = max(site.radius_mm for site in sites) or 1.0
+
+    # Per-die scalar composition of the defect/speed/current fields.
+    lam = []
+    speed_mu = []
+    radial = []
+    for site in sites:
+        edge = not site.in_inclusion_zone
+        density = process.defect_density_per_mm2
+        if edge:
+            density = density * process.edge_defect_multiplier
+        lam.append(density * area_mm2)
+        speed_mu.append(math.log(process.edge_speed_penalty)
+                       if edge else 0.0)
+        ratio = site.radius_mm / radius
+        # ratio * ratio, not ratio ** 2: numpy lowers an array ** 2 to
+        # np.square (one multiply), and the mirror must round the same.
+        radial.append(
+            1.0 + process.radial_current_gradient * (ratio * ratio)
+        )
+
+    # The draws themselves (and the exp over them) are shared with the
+    # vectorized path: same arguments, same order, same stream.
+    defects = rng.poisson(np.array(lam))
+    speeds = np.exp(rng.normal(np.array(speed_mu), process.speed_sigma))
+    lognormals = np.exp(
+        rng.normal(0.0, process.current_sigma, size=len(sites))
+    )
+    dies = []
+    for index, site in enumerate(sites):
+        dies.append(Die(
+            site=site,
+            defects=int(defects[index]),
+            speed_factor=float(speeds[index]),
+            current_factor=float(radial[index] * float(lognormals[index])),
+        ))
+    return FabricatedWafer(
+        wafer=wafer, process=process, dies=dies,
+        base_pullups=netlist.pullups, timing_report=timing_report,
+    )
+
+
+def probe_scalar(fabricated, voltage, rng, frequency_hz=FMAX_HZ):
+    """Scalar mirror of :meth:`FabricatedWafer.probe`."""
+    point = OperatingPoint(
+        vdd=voltage, refined_pullups=fabricated.process.refined_pullups
+    )
+    base_power = static_power_w(fabricated.base_pullups, point)
+    dies = fabricated.dies
+    n = len(dies)
+    base_period = fabricated.timing_report.period_s(voltage, 1.0)
+
+    # Shared noise draws (identical calls to the vectorized path).
+    defect_noise = np.exp(rng.normal(9.0, 1.8, size=n))
+    timing_noise = np.exp(rng.normal(7.0, 1.2, size=n))
+    current_noise = np.exp(rng.normal(0.0, 0.35, size=n))
+
+    base_current = base_power / voltage
+    records = []
+    for index, die in enumerate(dies):
+        speed = die.speed_factor
+        has_defect = die.defects > 0
+        meets_timing = 1.0 / (base_period * speed) >= frequency_hz
+        functional = (not has_defect) and meets_timing
+        if functional:
+            errors = 0
+            mode = None
+        elif has_defect:
+            errors = max(
+                int(min(TEST_CYCLES,
+                        float(defect_noise[index]) * die.defects)),
+                1,
+            )
+            mode = "defect"
+        else:
+            shortfall = base_period * speed * frequency_hz - 1.0
+            errors = int(min(
+                TEST_CYCLES,
+                max(1.0, shortfall * float(timing_noise[index])),
+            ))
+            mode = "timing"
+        current_a = base_current * die.current_factor
+        if has_defect:
+            current_a = current_a * float(current_noise[index])
+        records.append(ProbeRecord(
+            site=die.site,
+            functional=bool(functional),
+            errors=errors,
+            current_ma=float(current_a * 1e3),
+            failure_mode=mode,
+        ))
+    return WaferProbeResult(voltage=voltage, records=records)

@@ -188,11 +188,22 @@ def build_flexicore8():
     )
 
 
+def build_flexicore4plus():
+    """FlexiCore4+ (the shift+flags extended accumulator, Section 6)."""
+    # Imported lazily: dse_cores depends on this module's builder base.
+    from repro.netlist.dse_cores import build_extended_core
+
+    return build_extended_core(
+        frozenset({"shift", "flags"}), name="flexicore4plus"
+    )
+
+
 #: Named core builders, so a worker process (or a cache key) can refer
 #: to a fabricated core by its stable name instead of a netlist object.
 CORE_BUILDERS = {
     "flexicore4": build_flexicore4,
     "flexicore8": build_flexicore8,
+    "flexicore4plus": build_flexicore4plus,
 }
 
 

@@ -78,19 +78,47 @@ def write_jsonl(name, records, root=None):
 
 
 def append_jsonl(name, record, root=None):
-    """Append one record to a JSONL file."""
+    """Append one record to a JSONL file.
+
+    The record is serialized first and written with a *single*
+    ``write`` of one bytes object to a file opened in unbuffered
+    binary append mode.  On POSIX, ``O_APPEND`` writes of one buffer
+    are atomic with respect to other appenders, so concurrent writers
+    (engine workers all logging to ``log.jsonl``) interleave whole
+    lines instead of tearing each other's records mid-line.
+    """
     directory = state_dir(root)
+    payload = (json.dumps(record, default=str) + "\n").encode("utf-8")
     try:
         directory.mkdir(parents=True, exist_ok=True)
-        with open(directory / name, "a") as handle:
-            handle.write(json.dumps(record, default=str) + "\n")
+        with open(directory / name, "ab", buffering=0) as handle:
+            handle.write(payload)
     except OSError:
         return False
     return True
 
 
+#: Malformed JSONL lines skipped by :func:`read_jsonl` this session,
+#: keyed by file name.  Torn or half-flushed lines from older writers
+#: (or a crash mid-append) are survivable, but not silently ignorable.
+_MALFORMED = {}
+
+
+def malformed_line_count(name=None):
+    """Malformed lines skipped so far (for ``name``, or in total)."""
+    if name is not None:
+        return _MALFORMED.get(name, 0)
+    return sum(_MALFORMED.values())
+
+
 def read_jsonl(name, root=None, last=None):
-    """All (or the ``last`` N) parsed records of a JSONL file."""
+    """All (or the ``last`` N) parsed records of a JSONL file.
+
+    Lines that fail to parse -- torn by a concurrent writer or a crash
+    mid-append -- are skipped, counted in :func:`malformed_line_count`,
+    and folded into the ``obs_jsonl_malformed_total`` metric when a
+    session is active.
+    """
     try:
         with open(state_dir(root) / name) as handle:
             lines = handle.readlines()
@@ -99,6 +127,7 @@ def read_jsonl(name, root=None, last=None):
     if last is not None:
         lines = lines[-last:]
     records = []
+    malformed = 0
     for line in lines:
         line = line.strip()
         if not line:
@@ -106,5 +135,16 @@ def read_jsonl(name, root=None, last=None):
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
-            continue
+            malformed += 1
+    if malformed:
+        _MALFORMED[name] = _MALFORMED.get(name, 0) + malformed
+        try:
+            from repro import obs
+            if obs.active():
+                obs.registry().counter(
+                    "obs_jsonl_malformed_total",
+                    "Malformed JSONL lines skipped on read",
+                ).inc(malformed, file=name)
+        except Exception:  # pragma: no cover - obs must never break IO
+            pass
     return records
