@@ -11,9 +11,11 @@ yield        run the wafer-yield Monte Carlo (Table 5)
 dse          run the Section 6 design-space exploration (Figures 11-13)
 experiments  print any paper table/figure ('all' for everything)
 report       write EXPERIMENTS.md
-engine       experiment-engine cache statistics / maintenance
+engine       experiment-engine cache statistics / maintenance / gc
 obs          observability: summary / export / tail of the last run
 conform      randomized differential testing of the redundant paths
+serve        run the fab-as-a-service HTTP job API (docs/SERVICE.md)
+client       talk to a running service: submit / status / watch / ...
 
 The heavy experiment commands (``yield``, ``dse``, ``pareto``,
 ``experiments``, ``report``) accept ``--jobs N`` to fan the work over N
@@ -32,6 +34,7 @@ yield model with an N-fault stuck-at injection campaign per core.
 """
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -81,7 +84,11 @@ def _add_engine_arguments(parser):
 def _configure_engine(args):
     """Install the process-wide default engine from CLI flags."""
     from repro import engine
+    from repro.engine import signals
 
+    # First Ctrl-C / SIGTERM cancels in-flight engine runs and flushes
+    # observability; a second one falls through to the default handler.
+    signals.install()
     hooks = [engine.progress_printer()] if getattr(
         args, "engine_verbose", False
     ) else None
@@ -395,6 +402,28 @@ def cmd_report(args):
     return 0
 
 
+def _parse_size(text):
+    """'500M' / '2G' / '64K' / '1048576' -> bytes."""
+    text = str(text).strip()
+    scale = 1
+    suffixes = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    upper = text.upper()
+    if upper.endswith("B"):
+        upper = upper[:-1]
+    if upper and upper[-1] in suffixes:
+        scale = suffixes[upper[-1]]
+        upper = upper[:-1]
+    try:
+        value = float(upper)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (use e.g. 500M, 2G, 1048576)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0: {text!r}")
+    return int(value * scale)
+
+
 def cmd_engine(args):
     # Import the job-function providers so the registry is populated.
     import repro.dse.evaluate  # noqa: F401
@@ -409,6 +438,20 @@ def cmd_engine(args):
         print(f"cleared {stats['entries']} cache entries "
               f"({stats['bytes']} bytes) under {stats['root']}")
         return 0
+    if args.action == "gc":
+        if args.max_bytes is None:
+            print("error: 'engine gc' requires --max-bytes "
+                  "(e.g. --max-bytes 500M)", file=sys.stderr)
+            return 2
+        report = cache.gc(args.max_bytes)
+        print(f"engine cache gc: {cache.root}")
+        print(f"  budget   {report['max_bytes']:>12,d} bytes")
+        print(f"  before   {report['before_bytes']:>12,d} bytes")
+        print(f"  after    {report['after_bytes']:>12,d} bytes")
+        print(f"  evicted  {report['evicted_entries']} entries "
+              f"({report['evicted_bytes']:,d} bytes, "
+              f"least recently used first)")
+        return 0
 
     stats = cache.stats()
     print(f"engine cache: {stats['root']}")
@@ -418,7 +461,7 @@ def cmd_engine(args):
         print(f"  {name:<24} {entry['entries']:4d} entries  "
               f"{entry['bytes']:>10,d} bytes")
     print(f"  {'total':<24} {stats['entries']:4d} entries  "
-          f"{stats['bytes']:>10,d} bytes")
+          f"{stats['cache_bytes']:>10,d} bytes on disk")
     print(f"registered job functions: "
           f"{', '.join(sorted(registered())) or '(none imported)'}")
     last = load_last_run(cache.root)
@@ -558,6 +601,139 @@ def cmd_conform(args):
     return 1
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.service import ServiceConfig, TenantRegistry, serve
+
+    tenants = (TenantRegistry.from_file(args.tenants)
+               if args.tenants else None)
+    config = ServiceConfig(
+        host=args.host, port=args.port, tenants=tenants,
+        cache=args.cache_dir, engine_jobs=args.jobs,
+        max_running=args.max_running, max_queued=args.max_queued,
+        metrics=True, drain_grace_s=args.drain_grace,
+    )
+
+    def ready(server):
+        print(f"repro service listening on {server.base_url} "
+              f"({len(server.service.tenants)} tenant(s)); "
+              f"Ctrl-C or SIGTERM drains and exits", flush=True)
+
+    asyncio.run(serve(config, ready=ready))
+    print("service drained; bye")
+    return 0
+
+
+def _client_connection(args):
+    import os
+
+    from repro.service import ServiceClient
+
+    url = args.url or os.environ.get(
+        "REPRO_SERVICE_URL", "http://127.0.0.1:8321"
+    )
+    key = args.key or os.environ.get(
+        "REPRO_SERVICE_KEY", "dev-local-key"
+    )
+    return ServiceClient(url, key, timeout=args.timeout)
+
+
+def _parse_client_params(pairs):
+    """['wafers=2', 'core=flexicore4'] -> params dict (values JSON)."""
+    import json as json_module
+
+    params = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"--param expects name=value, got {pair!r}"
+            )
+        try:
+            params[name] = json_module.loads(value)
+        except json_module.JSONDecodeError:
+            params[name] = value  # bare strings need no quoting
+    return params
+
+
+def cmd_client(args):
+    import json as json_module
+
+    from repro.service import ServiceApiError
+
+    client = _client_connection(args)
+    action = args.client_action
+    try:
+        if action == "types":
+            for name, doc in client.types().items():
+                print(f"{name}: {doc['description']}")
+                for pname, spec in doc["params"].items():
+                    extra = []
+                    if spec.get("required"):
+                        extra.append("required")
+                    if "default" in spec:
+                        extra.append(f"default {spec['default']!r}")
+                    if "choices" in spec:
+                        extra.append(
+                            "one of " + ", ".join(
+                                map(str, spec["choices"])
+                            )
+                        )
+                    print(f"  {pname} ({spec['type']}"
+                          + ("; " + "; ".join(extra) if extra else "")
+                          + ")")
+            return 0
+        if action == "submit":
+            params = _parse_client_params(args.param)
+            document = client.submit(args.type, params)
+            if args.wait:
+                document = client.wait(
+                    document["id"], timeout=args.timeout
+                )
+            print(json_module.dumps(document, indent=2))
+            return 0 if document["status"] in ("queued", "running",
+                                              "completed") else 1
+        if action == "status":
+            print(json_module.dumps(client.status(args.job), indent=2))
+            return 0
+        if action == "watch":
+            final = None
+            for event in client.events(args.job, since=args.since):
+                print(json_module.dumps(event), flush=True)
+                if event["event"] in ("completed", "failed",
+                                      "cancelled"):
+                    final = event["event"]
+            return 0 if final in (None, "completed") else 1
+        if action == "cancel":
+            print(json_module.dumps(client.cancel(args.job), indent=2))
+            return 0
+        if action == "artifact":
+            data = client.artifact(args.digest)
+            if args.output:
+                with open(args.output, "wb") as handle:
+                    handle.write(data)
+                print(f"wrote {len(data)} bytes to {args.output}")
+            else:
+                sys.stdout.write(data.decode("utf-8", "replace"))
+            return 0
+        if action == "jobs":
+            for doc in client.jobs():
+                print(f"{doc['id']}  {doc['type']:<14} "
+                      f"{doc['status']:<10} "
+                      f"cache_hit={str(doc['cache_hit']).lower()}")
+            return 0
+        print(f"unknown client action '{action}'", file=sys.stderr)
+        return 2
+    except ServiceApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionRefusedError:
+        print(f"error: no service at {client.host}:{client.port} "
+              "(start one with 'repro serve')", file=sys.stderr)
+        return 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="flexicore",
@@ -659,12 +835,17 @@ def build_parser():
     p = sub.add_parser(
         "engine", help="experiment-engine cache stats / maintenance"
     )
-    p.add_argument("action", choices=("stats", "clear"),
+    p.add_argument("action", choices=("stats", "clear", "gc"),
                    help="'stats' shows cache + last-run metrics; "
-                        "'clear' deletes the cache")
+                        "'clear' deletes the cache; 'gc' evicts "
+                        "least-recently-used entries to --max-bytes")
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: .repro-cache or "
                         "$REPRO_CACHE_DIR)")
+    p.add_argument("--max-bytes", type=_parse_size, default=None,
+                   metavar="SIZE",
+                   help="gc target size on disk (accepts K/M/G "
+                        "suffixes, e.g. 500M)")
     p.set_defaults(fn=cmd_engine)
 
     p = sub.add_parser(
@@ -735,6 +916,87 @@ def build_parser():
     c.add_argument("--state-dir", default=None)
     c.set_defaults(fn=cmd_conform)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the fab-as-a-service HTTP job API (docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port (default 8321; 0 = ephemeral)")
+    p.add_argument("--tenants", default=None, metavar="FILE",
+                   help="tenant config JSON ({'tenants': [{'name', "
+                        "'key', 'rate', 'burst', 'max_active'}]}); "
+                        "default: a single 'dev' tenant with key "
+                        "'dev-local-key'")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   metavar="N",
+                   help="engine worker processes per job (default 1)")
+    p.add_argument("--max-running", type=_positive_int, default=2,
+                   metavar="N",
+                   help="jobs running concurrently (default 2)")
+    p.add_argument("--max-queued", type=int, default=8, metavar="N",
+                   help="queued jobs beyond the running set before "
+                        "429 backpressure (default 8)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared result-cache directory (default: "
+                        ".repro-cache or $REPRO_CACHE_DIR)")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="S",
+                   help="seconds a SIGTERM drain waits for in-flight "
+                        "jobs (default 30)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="talk to a running repro service"
+    )
+    p.add_argument("--url", default=None,
+                   help="service URL (default: $REPRO_SERVICE_URL or "
+                        "http://127.0.0.1:8321)")
+    p.add_argument("--key", default=None,
+                   help="API key (default: $REPRO_SERVICE_KEY or the "
+                        "dev key)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="request/wait timeout in seconds (default 300)")
+    ksub = p.add_subparsers(dest="client_action", required=True)
+
+    k = ksub.add_parser("types", help="list job types and schemas")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("submit", help="submit a job")
+    k.add_argument("type", help="job type (see 'client types')")
+    k.add_argument("--param", action="append", metavar="NAME=VALUE",
+                   help="job parameter; value parsed as JSON, bare "
+                        "strings allowed (repeatable)")
+    k.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes and print the "
+                        "final document")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("status", help="fetch one job's document")
+    k.add_argument("job", help="job id")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("watch",
+                        help="stream a job's progress events (NDJSON)")
+    k.add_argument("job", help="job id")
+    k.add_argument("--since", type=int, default=0,
+                   help="first event sequence number (default 0)")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("cancel", help="request job cancellation")
+    k.add_argument("job", help="job id")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("artifact", help="download an artifact")
+    k.add_argument("digest", help="artifact digest (from the job doc)")
+    k.add_argument("-o", "--output", default=None,
+                   help="write to FILE instead of stdout")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("jobs", help="list this tenant's jobs")
+    k.set_defaults(fn=cmd_client)
+
     return parser
 
 
@@ -742,7 +1004,34 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if hasattr(args, "profile"):
         _configure_obs(args)
-    status = args.fn(args)
+    try:
+        status = args.fn(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed our stdout; point it at devnull
+        # so the interpreter's shutdown flush doesn't traceback too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except Exception as exc:
+        from repro.asm.errors import AsmError
+        from repro.engine import EngineCancelled
+        from repro.isa.errors import IsaError
+
+        if isinstance(exc, EngineCancelled):
+            print("cancelled", file=sys.stderr)
+            return 130
+        if isinstance(exc, (AsmError, IsaError, ValueError, KeyError,
+                            FileNotFoundError, IsADirectoryError)):
+            # User errors (bad name, bad file, bad value) exit 2 with
+            # one line on stderr instead of a traceback.
+            message = exc.args[0] if (
+                isinstance(exc, KeyError) and exc.args
+            ) else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        raise
     if hasattr(args, "profile"):
         _finish_obs(args)
     return status

@@ -46,15 +46,22 @@ from repro.engine.registry import (  # noqa: F401
     job_function,
     registered,
 )
-from repro.engine.scheduler import Engine, EngineJobError  # noqa: F401
+from repro.engine.scheduler import (  # noqa: F401
+    Engine,
+    EngineCancelled,
+    EngineJobError,
+    cancel_all_engines,
+    live_engines,
+)
 
 __all__ = [
-    "CACHE_DIR_ENV", "ChildSeed", "Engine", "EngineJobError",
-    "EngineMetrics", "Job", "ResultCache", "as_child_seed", "configure",
+    "CACHE_DIR_ENV", "ChildSeed", "Engine", "EngineCancelled",
+    "EngineJobError", "EngineMetrics", "Job", "ResultCache",
+    "as_child_seed", "cancel_all_engines", "configure",
     "current_engine", "default_cache_dir", "engine_or_default",
     "function_identity", "job_cache_key", "job_function",
-    "load_last_run", "progress_printer", "registered", "reset",
-    "spawn_seeds",
+    "live_engines", "load_last_run", "progress_printer", "registered",
+    "reset", "spawn_seeds",
 ]
 
 #: Process-wide default configuration.  Serial and cache-less by

@@ -156,6 +156,13 @@ class ResultCache:
             self.misses += 1
             return False, None
         self.hits += 1
+        # Mark the entry recently-used so :meth:`gc` evicts cold
+        # entries first (mtime is the LRU clock; atime is unreliable
+        # on noatime/relatime mounts).
+        try:
+            os.utime(data_path)
+        except OSError:
+            pass
         return True, value
 
     def _quarantine(self, fn_name, data_path, meta_path):
@@ -217,6 +224,53 @@ class ResultCache:
         if self.root.exists():
             shutil.rmtree(self.root)
 
+    def gc(self, max_bytes):
+        """Evict least-recently-used entries down to ``max_bytes``.
+
+        A long-lived service accumulates results without bound; this
+        walks every ``.pkl`` entry, sorts by mtime (refreshed on every
+        :meth:`get` hit, so it is an LRU clock), and deletes the
+        coldest entries (data + metadata) until the total is within
+        budget.  Returns ``{"before_bytes", "after_bytes",
+        "evicted_entries", "evicted_bytes", "max_bytes"}``.
+        """
+        max_bytes = max(0, int(max_bytes))
+        records = []
+        if self.root.exists():
+            for directory in self.root.iterdir():
+                if not directory.is_dir():
+                    continue
+                for data_path in directory.glob("*.pkl"):
+                    try:
+                        stat = data_path.stat()
+                    except OSError:
+                        continue
+                    records.append(
+                        (stat.st_mtime, stat.st_size, data_path)
+                    )
+        total = sum(size for _, size, _ in records)
+        before = total
+        evicted = 0
+        evicted_bytes = 0
+        for _, size, data_path in sorted(records, key=lambda r: r[0]):
+            if total <= max_bytes:
+                break
+            for path in (data_path, data_path.with_suffix(".json")):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        return {
+            "before_bytes": before,
+            "after_bytes": total,
+            "evicted_entries": evicted,
+            "evicted_bytes": evicted_bytes,
+            "max_bytes": max_bytes,
+        }
+
     def stats(self):
         """{function name: {"entries": n, "bytes": total}} plus totals."""
         by_fn = {}
@@ -239,6 +293,7 @@ class ResultCache:
             "functions": by_fn,
             "entries": total_entries,
             "bytes": total_bytes,
+            "cache_bytes": total_bytes,
             "session_hits": self.hits,
             "session_misses": self.misses,
             "session_corrupt": self.corrupt,

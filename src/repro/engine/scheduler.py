@@ -16,8 +16,10 @@ and results are reassembled in submission order, none of the above
 changes a single bit of the output.
 """
 
+import threading
 import time
 import traceback
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -44,6 +46,34 @@ class EngineJobError(RuntimeError):
         self.label = label
         self.attempts = attempts
         self.cause = cause
+
+
+class EngineCancelled(RuntimeError):
+    """A run was cancelled (``Engine.cancel``) before it finished."""
+
+
+#: Every live engine, so a signal handler (or a service drain) can reach
+#: in-flight runs without threading a reference through every call site.
+_LIVE_ENGINES = weakref.WeakSet()
+
+#: How often a blocked parallel wait rechecks the cancel flag (seconds).
+_CANCEL_POLL_S = 0.2
+
+
+def live_engines():
+    """Engines currently executing a :meth:`Engine.run`."""
+    return [engine for engine in list(_LIVE_ENGINES) if engine.running]
+
+
+def cancel_all_engines():
+    """Cancel every engine that is mid-run; returns how many were
+    *newly* cancelled (an engine already winding down counts zero, so
+    a repeated interrupt can escalate instead of being swallowed)."""
+    cancelled = 0
+    for engine in live_engines():
+        if engine.cancel():
+            cancelled += 1
+    return cancelled
 
 
 def _execute_chunk(payloads, obs_ctx=None):
@@ -120,8 +150,43 @@ class Engine:
         self.hooks.add(obs.engine_bridge())
         self.metrics = EngineMetrics(workers=self.jobs)
         self._pool_factory = pool_factory or _default_pool_factory
+        self._cancel = threading.Event()
+        self._running = False
+        _LIVE_ENGINES.add(self)
 
     # -- public API ----------------------------------------------------
+
+    def cancel(self):
+        """Ask the engine to stop at the next job/chunk boundary.
+
+        Safe from any thread or a signal handler.  An in-flight
+        :meth:`run` raises :class:`EngineCancelled` promptly (blocked
+        parallel waits poll the flag); a cancelled engine refuses
+        further runs until :meth:`uncancel`.  Returns True when this
+        call flipped the flag (False when already cancelled).
+        """
+        already = self._cancel.is_set()
+        self._cancel.set()
+        if not already:
+            self.hooks.emit("cancelled", {"reason": "cancel requested"})
+        return not already
+
+    def uncancel(self):
+        """Clear a previous :meth:`cancel` so the engine can run again."""
+        self._cancel.clear()
+
+    @property
+    def cancelled(self):
+        return self._cancel.is_set()
+
+    @property
+    def running(self):
+        """True while a :meth:`run` is executing (any thread)."""
+        return self._running
+
+    def _check_cancelled(self):
+        if self._cancel.is_set():
+            raise EngineCancelled("engine run cancelled")
 
     def run(self, jobs, stage="run"):
         """Run every job; return results in submission order."""
@@ -130,64 +195,75 @@ class Engine:
         started = time.perf_counter()
         stage_metrics = StageMetrics(stage=stage, jobs=len(jobs))
         self.metrics.jobs_submitted += len(jobs)
+        self._check_cancelled()
+        self._running = True
 
         results = [None] * len(jobs)
-        with obs.span(f"engine.{stage}", jobs=len(jobs)):
-            pending = []
-            keys = [None] * len(jobs)
-            for index, job in enumerate(jobs):
-                if self.cache is not None:
-                    keys[index] = job_cache_key(job)
-                    hit, value = self.cache.get(
-                        _fn_name(job), keys[index]
-                    )
-                    if hit:
-                        results[index] = value
-                        self.metrics.cache_hits += 1
-                        self.metrics.jobs_completed += 1
-                        stage_metrics.cache_hits += 1
-                        self.hooks.emit("job_done", {
-                            "label": job.label, "fn": _fn_name(job),
-                            "status": "cached", "attempts": 0,
-                            "elapsed_s": 0.0, "where": "cache",
-                        })
-                        continue
-                    self.metrics.cache_misses += 1
-                pending.append(index)
-
-            if pending:
-                if self.jobs <= 1 or len(pending) == 1:
-                    self._run_serial(jobs, pending, results)
-                else:
-                    self._run_parallel(jobs, pending, results)
-                for index in pending:
+        try:
+            with obs.span(f"engine.{stage}", jobs=len(jobs)):
+                pending = []
+                keys = [None] * len(jobs)
+                for index, job in enumerate(jobs):
                     if self.cache is not None:
-                        self.cache.put(
-                            _fn_name(jobs[index]), keys[index],
-                            results[index], meta={
-                                "label": jobs[index].label,
-                                "seed": (jobs[index].seed.token()
-                                         if jobs[index].seed else None),
-                            },
+                        keys[index] = job_cache_key(job)
+                        hit, value = self.cache.get(
+                            _fn_name(job), keys[index]
                         )
-                stage_metrics.computed = len(pending)
+                        if hit:
+                            results[index] = value
+                            self.metrics.cache_hits += 1
+                            self.metrics.jobs_completed += 1
+                            stage_metrics.cache_hits += 1
+                            self.hooks.emit("job_done", {
+                                "label": job.label, "fn": _fn_name(job),
+                                "status": "cached", "attempts": 0,
+                                "elapsed_s": 0.0, "where": "cache",
+                            })
+                            continue
+                        self.metrics.cache_misses += 1
+                    pending.append(index)
 
+                if pending:
+                    if self.jobs <= 1 or len(pending) == 1:
+                        self._run_serial(jobs, pending, results)
+                    else:
+                        self._run_parallel(jobs, pending, results)
+                    for index in pending:
+                        if self.cache is not None:
+                            self.cache.put(
+                                _fn_name(jobs[index]), keys[index],
+                                results[index], meta={
+                                    "label": jobs[index].label,
+                                    "seed": (jobs[index].seed.token()
+                                             if jobs[index].seed
+                                             else None),
+                                },
+                            )
+                    stage_metrics.computed = len(pending)
+
+                self.hooks.emit("stage_done", {
+                    "stage": stage, "jobs": len(jobs),
+                    "cache_hits": stage_metrics.cache_hits,
+                    "wall_s": time.perf_counter() - started,
+                })
+        finally:
+            # Runs on success, failure, *and* cancellation: the metrics
+            # record and the last-run snapshot must reflect what really
+            # happened, so an interrupted campaign never leaves a
+            # half-written or stale `.repro-state/` behind.  The
+            # snapshot goes to the state directory no matter how (or
+            # whether) results were cached, so `repro engine stats`
+            # reflects --no-cache runs too; a copy lands next to the
+            # cache for backward compatibility with cache-rooted
+            # readers.
+            self._running = False
             stage_metrics.wall_s = time.perf_counter() - started
             self.metrics.wall_s += stage_metrics.wall_s
             self.metrics.stages.append(stage_metrics)
-            self.hooks.emit("stage_done", {
-                "stage": stage, "jobs": len(jobs),
-                "cache_hits": stage_metrics.cache_hits,
-                "wall_s": stage_metrics.wall_s,
-            })
-        # The last-run snapshot goes to the state directory no matter
-        # how (or whether) results were cached, so `repro engine stats`
-        # reflects --no-cache runs too; a copy lands next to the cache
-        # for backward compatibility with cache-rooted readers.
-        persist_last_run(
-            self.metrics,
-            self.cache.root if self.cache is not None else None,
-        )
+            persist_last_run(
+                self.metrics,
+                self.cache.root if self.cache is not None else None,
+            )
         return results
 
     def run_one(self, job):
@@ -197,6 +273,7 @@ class Engine:
 
     def _run_serial(self, jobs, indices, results, attempts_used=0):
         for index in indices:
+            self._check_cancelled()
             results[index] = self._attempt_until_done(
                 jobs[index], attempts_used
             )
@@ -205,6 +282,7 @@ class Engine:
         attempt = attempts_used
         last_error = None
         while attempt <= self.retries:
+            self._check_cancelled()
             attempt += 1
             started = time.perf_counter()
             try:
@@ -276,8 +354,8 @@ class Engine:
                 chunk_timeout = (self.timeout * len(chunk)
                                  if self.timeout else None)
                 try:
-                    outcomes, obs_payload = future.result(
-                        timeout=chunk_timeout
+                    outcomes, obs_payload = self._await_future(
+                        future, chunk_timeout
                     )
                     obs.absorb(obs_payload)
                 except (BrokenProcessPool, FutureTimeoutError,
@@ -312,6 +390,25 @@ class Engine:
             # One attempt already happened in the worker.
             self._run_serial(jobs, retry_serial, results,
                              attempts_used=1)
+
+    def _await_future(self, future, chunk_timeout):
+        """``future.result`` in short slices so a :meth:`cancel` from
+        another thread (or a signal handler) interrupts the wait within
+        ``_CANCEL_POLL_S`` instead of after the whole chunk."""
+        deadline = (time.monotonic() + chunk_timeout
+                    if chunk_timeout is not None else None)
+        while True:
+            self._check_cancelled()
+            step = _CANCEL_POLL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FutureTimeoutError()
+                step = min(step, remaining)
+            try:
+                return future.result(timeout=step)
+            except FutureTimeoutError:
+                continue
 
     def _degrade(self, reason):
         self.metrics.degraded = True

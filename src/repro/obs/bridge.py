@@ -1,23 +1,63 @@
 """Folding the engine's event stream into the observability layer.
 
 The scheduler already narrates itself through hook events
-(``job_done`` / ``stage_done`` / ``degraded``).  This module is the
-one hook every :class:`~repro.engine.scheduler.Engine` installs: it
-forwards the stream to the structured logger (debug for jobs, info for
-stages, warning for degradation) and -- when metrics collection is on
--- folds the same events into the registry, so the engine's private
-``EngineMetrics`` and the process-wide registry can never disagree
-about what ran.
+(``job_done`` / ``stage_done`` / ``degraded`` / ``cancelled``).  This
+module is the one hook every :class:`~repro.engine.scheduler.Engine`
+installs: it forwards the stream to the structured logger (debug for
+jobs, info for stages, warning for degradation) and -- when metrics
+collection is on -- folds the same events into the registry, so the
+engine's private ``EngineMetrics`` and the process-wide registry can
+never disagree about what ran.
+
+It is also the process-wide tap point: :func:`subscribe` registers a
+callback that receives every engine event from every engine in the
+process, which is how ``repro.service`` streams per-job progress to
+HTTP clients without the scheduler knowing the service exists.
 """
+
+import itertools
 
 from repro.obs.logging import get_logger
 
 _log = get_logger("repro.engine")
 
+#: {token: callback} of live :func:`subscribe` registrations.
+_subscribers = {}
+_tokens = itertools.count(1)
+
+
+def subscribe(callback):
+    """Register ``callback(event, payload)`` for every engine event.
+
+    The callback runs in whatever thread executed the engine hook
+    (the thread that called ``Engine.run``), so subscribers that fan
+    into shared state must do their own locking.  A callback that
+    raises is dropped, like any engine hook.  Returns a token for
+    :func:`unsubscribe`.
+    """
+    token = next(_tokens)
+    _subscribers[token] = callback
+    return token
+
+
+def unsubscribe(token):
+    """Remove a :func:`subscribe` registration (unknown tokens no-op)."""
+    _subscribers.pop(token, None)
+
+
+def _fan_out(event, payload):
+    for token, callback in list(_subscribers.items()):
+        try:
+            callback(event, payload)
+        except Exception:
+            _subscribers.pop(token, None)
+
 
 def engine_event(event, payload):
     """The always-installed engine hook (logging + metrics fold)."""
     from repro import obs
+
+    _fan_out(event, payload)
 
     if event == "job_done":
         _log.debug(
@@ -70,4 +110,12 @@ def engine_event(event, payload):
             obs.registry().counter(
                 "engine_degraded_total",
                 "Runs degraded from the process pool to serial",
+            ).inc()
+    elif event == "cancelled":
+        _log.warning(
+            "run cancelled", reason=payload.get("reason", "?")
+        )
+        if obs.active():
+            obs.registry().counter(
+                "engine_cancelled_total", "Engine runs cancelled",
             ).inc()

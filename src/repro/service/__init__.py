@@ -1,0 +1,73 @@
+"""``repro.service`` -- fab-as-a-service: an async job API over the engine.
+
+The reproduction's experiments (the Table 5 yield studies, the Figure
+6/7 wafer maps, the DSE sweeps, the conformance campaigns, the Table 6
+kernels) are exposed as *named jobs* behind a small HTTP API:
+
+- ``POST /v1/jobs`` submits ``{"type": ..., "params": {...}}`` against
+  a validated per-type schema;
+- ``GET /v1/jobs/{id}`` reports status and (on completion) the result;
+- ``GET /v1/jobs/{id}/events`` streams NDJSON progress straight off
+  the engine's observability bridge;
+- ``GET /v1/artifacts/{digest}`` serves rendered tables and figures.
+
+Every job runs through the shared content-addressed
+:class:`~repro.engine.ResultCache`, so a repeated submission -- any
+tenant, same parameters -- is answered in milliseconds with
+``cache_hit: true``.  Tenancy is API-key based with token-bucket rate
+limits, per-tenant concurrency quotas, and a bounded global backlog
+(429 + Retry-After under pressure).
+
+Start one with ``repro serve``; talk to it with ``repro client`` or
+:class:`ServiceClient`.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import (
+    AsyncServiceClient,
+    ServiceApiError,
+    ServiceClient,
+)
+from repro.service.jobs import (
+    Field,
+    JobType,
+    ValidationError,
+    describe_job_types,
+    job_types,
+    register_job_type,
+)
+from repro.service.server import (
+    JobService,
+    ServiceConfig,
+    ServiceError,
+    ServiceHandle,
+    ServiceServer,
+    serve,
+    start_in_thread,
+)
+from repro.service.state import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL,
+    JobRecord,
+    JobStore,
+)
+from repro.service.tenants import (
+    DEV_TENANT_KEY,
+    DEV_TENANT_NAME,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+)
+
+__all__ = [
+    "AsyncServiceClient", "CANCELLED", "COMPLETED", "DEV_TENANT_KEY",
+    "DEV_TENANT_NAME", "FAILED", "Field", "JobRecord", "JobService",
+    "JobStore", "JobType", "QUEUED", "RUNNING", "ServiceApiError",
+    "ServiceClient", "ServiceConfig", "ServiceError", "ServiceHandle",
+    "ServiceServer", "TERMINAL", "Tenant", "TenantRegistry",
+    "TokenBucket", "ValidationError", "describe_job_types",
+    "job_types", "register_job_type", "serve", "start_in_thread",
+]

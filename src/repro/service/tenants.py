@@ -1,0 +1,140 @@
+"""Multi-tenancy primitives: API keys, rate limits, job quotas.
+
+A :class:`Tenant` owns an API key, a token-bucket submission rate, and
+a concurrent-job quota; the :class:`TenantRegistry` resolves request
+credentials to tenants.  These are deliberately serving-stack-agnostic
+-- nothing here knows about HTTP -- so the same objects could front a
+different transport.
+
+Config file format (``repro serve --tenants FILE``)::
+
+    {"tenants": [
+        {"name": "alice", "key": "a-secret", "rate": 10.0,
+         "burst": 20, "max_active": 4},
+        {"name": "bob", "key": "b-secret"}
+    ]}
+"""
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Defaults for tenants that do not spell everything out.
+DEFAULT_RATE = 10.0     # submissions per second, steady state
+DEFAULT_BURST = 20      # bucket capacity
+DEFAULT_MAX_ACTIVE = 4  # concurrent queued+running jobs
+
+#: The out-of-the-box development tenant (``repro serve`` with no
+#: --tenants file).  Not a secret -- the server warns when it is live.
+DEV_TENANT_NAME = "dev"
+DEV_TENANT_KEY = "dev-local-key"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate, burst):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, amount=1.0):
+        """(granted, retry_after_s); refills lazily on each call."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True, 0.0
+            missing = amount - self._tokens
+            retry = missing / self.rate if self.rate > 0 else 60.0
+            return False, retry
+
+
+@dataclass
+class Tenant:
+    """One paying (or at least authenticated) customer of the service."""
+
+    name: str
+    key: str
+    rate: float = DEFAULT_RATE
+    burst: int = DEFAULT_BURST
+    max_active: int = DEFAULT_MAX_ACTIVE
+    bucket: TokenBucket = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.bucket is None:
+            self.bucket = TokenBucket(self.rate, self.burst)
+
+
+class TenantRegistry:
+    """Key -> :class:`Tenant` resolution."""
+
+    def __init__(self, tenants):
+        self._by_key = {}
+        self._by_name = {}
+        for tenant in tenants:
+            if tenant.key in self._by_key:
+                raise ValueError(
+                    f"duplicate API key across tenants "
+                    f"({self._by_key[tenant.key].name!r} and "
+                    f"{tenant.name!r})"
+                )
+            if tenant.name in self._by_name:
+                raise ValueError(f"duplicate tenant name {tenant.name!r}")
+            self._by_key[tenant.key] = tenant
+            self._by_name[tenant.name] = tenant
+
+    def authenticate(self, key):
+        """The tenant owning ``key``, or None."""
+        if not key:
+            return None
+        return self._by_key.get(key)
+
+    def get(self, name):
+        return self._by_name.get(name)
+
+    def names(self):
+        return sorted(self._by_name)
+
+    def __len__(self):
+        return len(self._by_name)
+
+    @classmethod
+    def from_file(cls, path):
+        """Load ``{"tenants": [...]}`` from a JSON config file."""
+        with open(path) as handle:
+            document = json.load(handle)
+        entries = document.get("tenants")
+        if not isinstance(entries, list) or not entries:
+            raise ValueError(
+                f"{path}: expected a non-empty 'tenants' list"
+            )
+        tenants = []
+        for entry in entries:
+            if not isinstance(entry, dict) or "name" not in entry \
+                    or "key" not in entry:
+                raise ValueError(
+                    f"{path}: every tenant needs 'name' and 'key'"
+                )
+            tenants.append(Tenant(
+                name=str(entry["name"]),
+                key=str(entry["key"]),
+                rate=float(entry.get("rate", DEFAULT_RATE)),
+                burst=int(entry.get("burst", DEFAULT_BURST)),
+                max_active=int(
+                    entry.get("max_active", DEFAULT_MAX_ACTIVE)
+                ),
+            ))
+        return cls(tenants)
+
+    @classmethod
+    def development(cls):
+        """The single-tenant registry used when no config is given."""
+        return cls([Tenant(name=DEV_TENANT_NAME, key=DEV_TENANT_KEY)])

@@ -101,3 +101,159 @@ class TestHardwareCommands:
                      "--max-cycles", "8"]) == 0
         out = capsys.readouterr().out
         assert "load 0" in out and "OPORT" in out
+
+
+class TestErrorPaths:
+    """User errors exit nonzero with one line on stderr, never a
+    traceback."""
+
+    def test_unknown_isa_name(self, capsys):
+        assert main(["isa", "pentium4"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unknown_core_name(self, capsys):
+        assert main(["kernels", "--isa", "nosuchcore"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nosuchcore" in err
+
+    def test_malformed_program_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.asm"
+        path.write_text("definitely_not_an_instruction 99\n")
+        assert main(["asm", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mnemonic" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_undefined_label_in_run(self, tmp_path, capsys):
+        path = tmp_path / "label.asm"
+        path.write_text("load 0\nbrn nowhere\n")
+        assert main(["run", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_missing_program_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.asm"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_backend_flag_exits_2(self):
+        with pytest.raises(SystemExit) as info:
+            main(["yield", "--backend", "quantum"])
+        assert info.value.code == 2
+
+    def test_closed_stdout_pipe_is_not_an_error(self):
+        # `repro isa flexicore4 | head -1`: head closing the pipe
+        # mid-write must not traceback (exit 0 under pipefail).
+        import os
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                     else [])
+        )
+        completed = subprocess.run(
+            ["bash", "-c",
+             "set -o pipefail; "
+             f"{_sys.executable} -m repro.cli isa flexicore4"
+             " | head -c 16 > /dev/null"],
+            capture_output=True, timeout=60, env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert b"Traceback" not in completed.stderr
+
+
+class TestEngineGcCommand:
+    def _filled_cache(self, tmp_path):
+        from repro.engine import ResultCache
+
+        cache = ResultCache(tmp_path / "gc-cache")
+        for index in range(3):
+            cache.put("test.fn", f"{index:064x}", {"blob": "x" * 50})
+        return str(cache.root)
+
+    def test_gc_requires_max_bytes(self, tmp_path, capsys):
+        root = self._filled_cache(tmp_path)
+        assert main(["engine", "gc", "--cache-dir", root]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_stats_reports_bytes_on_disk(self, tmp_path, capsys):
+        root = self._filled_cache(tmp_path)
+        assert main(["engine", "stats", "--cache-dir", root]) == 0
+        assert "bytes on disk" in capsys.readouterr().out
+
+    def test_gc_evicts_to_budget(self, tmp_path, capsys):
+        root = self._filled_cache(tmp_path)
+        assert main(["engine", "gc", "--cache-dir", root,
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted  3 entries" in out
+        assert main(["engine", "stats", "--cache-dir", root]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_size_suffixes(self):
+        import argparse
+
+        from repro.cli import _parse_size
+
+        assert _parse_size("1K") == 1024
+        assert _parse_size("2M") == 2 * 1024 ** 2
+        assert _parse_size("1G") == 1024 ** 3
+        assert _parse_size("1.5KB") == 1536
+        assert _parse_size("10") == 10
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("banana")
+
+
+class TestClientCommand:
+    def test_param_parsing(self):
+        from repro.cli import _parse_client_params
+
+        params = _parse_client_params([
+            "wafers=2", "core=flexicore4", "voltages=[3.0, 4.5]",
+            "gate_check=true",
+        ])
+        assert params == {
+            "wafers": 2, "core": "flexicore4",
+            "voltages": [3.0, 4.5], "gate_check": True,
+        }
+        with pytest.raises(ValueError):
+            _parse_client_params(["no-equals-sign"])
+
+    def test_client_against_live_service(self, tmp_path, capsys):
+        from repro.service import ServiceConfig, start_in_thread
+
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "cli-cache"),
+        ))
+        try:
+            base = ["client", "--url", handle.base_url,
+                    "--key", "dev-local-key"]
+            assert main(base + ["types"]) == 0
+            assert "kernel_run" in capsys.readouterr().out
+
+            assert main(base + [
+                "submit", "kernel_run",
+                "--param", "kernel=Parity Check",
+                "--param", "transactions=3", "--wait",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert '"status": "completed"' in out
+
+            assert main(base + ["jobs"]) == 0
+            assert "kernel_run" in capsys.readouterr().out
+
+            assert main(base + ["status", "doesnotexist"]) == 1
+            assert "error:" in capsys.readouterr().err
+        finally:
+            handle.stop()
+
+    def test_client_connection_refused(self, capsys):
+        assert main(["client", "--url", "http://127.0.0.1:1",
+                     "--key", "k", "types"]) == 1
+        assert "no service at" in capsys.readouterr().err

@@ -1,0 +1,411 @@
+"""End-to-end tests of ``repro.service``: real sockets, real jobs.
+
+Every test starts a full service (asyncio HTTP server on an ephemeral
+port, executor-backed job runner, shared result cache in tmp_path) and
+talks to it with the bundled clients -- the same path ``repro client``
+and the CI smoke job use.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import EngineCancelled
+from repro.service import (
+    CANCELLED,
+    COMPLETED,
+    Field,
+    JobStore,
+    ServiceApiError,
+    ServiceClient,
+    ServiceConfig,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    ValidationError,
+    register_job_type,
+    start_in_thread,
+)
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobs import validate_params
+from repro.service.state import JobRecord
+
+KERNEL_PARAMS = {"kernel": "Parity Check", "transactions": 3}
+
+
+def _sleep_runner(params, ctx):
+    """Test-only job: cancellable busy-wait, no engine involved."""
+    deadline = time.monotonic() + params["seconds"]
+    while time.monotonic() < deadline:
+        if ctx.record.cancel_requested:
+            raise EngineCancelled("test sleep cancelled")
+        time.sleep(0.02)
+    return {"slept": params["seconds"]}, []
+
+
+register_job_type(
+    "sleep_test", "test-only cancellable sleeper",
+    {"seconds": Field(float, default=0.2, minimum=0.0, maximum=30.0)},
+    _sleep_runner,
+)
+
+
+def _registry():
+    return TenantRegistry([
+        Tenant(name="alice", key="alice-key", rate=1000.0, burst=1000,
+               max_active=4),
+        Tenant(name="bob", key="bob-key", rate=1000.0, burst=1000,
+               max_active=2),
+    ])
+
+
+@pytest.fixture()
+def handle(tmp_path):
+    instance = start_in_thread(ServiceConfig(
+        port=0, cache=str(tmp_path / "svc-cache"), tenants=_registry(),
+        max_running=2, max_queued=2,
+    ))
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture()
+def alice(handle):
+    return ServiceClient(handle.base_url, "alice-key", timeout=120)
+
+
+@pytest.fixture()
+def bob(handle):
+    return ServiceClient(handle.base_url, "bob-key", timeout=120)
+
+
+class TestRoundTrip:
+    def test_two_tenants_yield_and_dse(self, alice, bob):
+        """The ISSUE acceptance path: two tenants, a yield study and a
+        DSE sweep, events streamed, artifacts fetched."""
+        yield_doc = alice.submit("yield_study", {
+            "core": "flexicore4", "wafers": 1, "seed": 7,
+        })
+        dse_doc = bob.submit("dse_sweep", {
+            "designs": ["FlexiCore4"], "transactions": 2,
+        })
+
+        yield_final = alice.wait(yield_doc["id"], timeout=300)
+        dse_final = bob.wait(dse_doc["id"], timeout=300)
+        assert yield_final["status"] == COMPLETED
+        assert dse_final["status"] == COMPLETED
+
+        summary = yield_final["result"]["summary"]
+        assert set(summary) == {"3", "4.5"}
+        assert 0.0 <= summary["3"]["full"] <= 1.0
+        metrics = dse_final["result"]["designs"]["FlexiCore4"]
+        assert metrics["gate_count"] > 0
+        assert metrics["kernels"]
+
+        events = list(alice.events(yield_doc["id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert "started" in kinds
+        assert kinds[-1] == "completed"
+        assert [event["seq"] for event in events] == \
+            list(range(len(events)))
+        assert any(kind == "engine_stage" for kind in kinds)
+
+        assert yield_final["artifacts"]
+        text = alice.artifact(
+            yield_final["artifacts"][0]["digest"]
+        ).decode()
+        assert "yield study" in text
+        assert "flexicore4" in text
+
+    def test_resubmission_is_cache_hit(self, alice):
+        first = alice.run("kernel_run", KERNEL_PARAMS)
+        assert first["status"] == COMPLETED
+        assert first["cache_hit"] is False
+
+        started = time.monotonic()
+        second = alice.run("kernel_run", KERNEL_PARAMS)
+        elapsed = time.monotonic() - started
+        assert second["status"] == COMPLETED
+        assert second["cache_hit"] is True
+        assert second["result"] == first["result"]
+        assert elapsed < 10.0
+        # Identical results render identical artifacts -> same digest.
+        assert [a["digest"] for a in second["artifacts"]] == \
+            [a["digest"] for a in first["artifacts"]]
+
+    def test_cache_is_shared_across_tenants(self, alice, bob):
+        alice_doc = alice.run("kernel_run", KERNEL_PARAMS)
+        bob_doc = bob.run("kernel_run", KERNEL_PARAMS)
+        assert alice_doc["cache_hit"] is False
+        assert bob_doc["cache_hit"] is True
+
+    def test_wafer_maps_job(self, alice):
+        doc = alice.run("wafer_maps", {
+            "core": "flexicore4", "seed": 3, "voltages": [4.5],
+        })
+        assert doc["status"] == COMPLETED
+        assert "4.5" in doc["result"]["voltages"]
+        names = [a["name"] for a in doc["artifacts"]]
+        assert "figure6.txt" in names
+        assert "figure7.txt" in names
+        fig6 = next(a for a in doc["artifacts"]
+                    if a["name"] == "figure6.txt")
+        assert "Figure 6" in alice.artifact(fig6["digest"]).decode()
+
+    def test_conformance_job(self, alice):
+        doc = alice.run("conformance", {
+            "seed": 0, "budget": 4, "oracles": ["dispatch"],
+        })
+        assert doc["status"] == COMPLETED
+        assert doc["result"]["cases"] > 0
+        assert doc["result"]["divergences"] == []
+        # Campaigns must execute, never replay: no cache hit even on
+        # an identical resubmission.
+        again = alice.run("conformance", {
+            "seed": 0, "budget": 4, "oracles": ["dispatch"],
+        })
+        assert again["cache_hit"] is False
+
+    def test_types_and_stats_and_health(self, alice):
+        types = alice.types()
+        assert {"yield_study", "dse_sweep", "conformance",
+                "kernel_run", "wafer_maps"} <= set(types)
+        assert types["yield_study"]["params"]["core"]["required"]
+        stats = alice.stats()
+        assert stats["tenants"] == ["alice", "bob"]
+        assert "cache" in stats
+        assert alice.health()["ok"] is True
+
+
+class TestAdmission:
+    def test_unknown_key_is_401(self, handle):
+        client = ServiceClient(handle.base_url, "wrong-key")
+        with pytest.raises(ServiceApiError) as info:
+            client.types()
+        assert info.value.status == 401
+
+    def test_unknown_type_is_400(self, alice):
+        with pytest.raises(ServiceApiError) as info:
+            alice.submit("no_such_type", {})
+        assert info.value.status == 400
+        assert "no_such_type" in info.value.message
+
+    def test_bad_params_are_400(self, alice):
+        for params in (
+            {"core": "not-a-core"},            # out of choices
+            {"core": "flexicore4", "wafers": "two"},  # wrong type
+            {"core": "flexicore4", "bogus": 1},       # unknown name
+            {},                                       # missing required
+            {"core": "flexicore4", "wafers": 0},      # below minimum
+        ):
+            with pytest.raises(ServiceApiError) as info:
+                alice.submit("yield_study", params)
+            assert info.value.status == 400
+
+    def test_quota_is_403_and_isolated(self, alice, bob):
+        """Bob (max_active=2) hitting his quota must not disturb
+        Alice's in-flight jobs."""
+        first = bob.submit("sleep_test", {"seconds": 2.0})
+        second = bob.submit("sleep_test", {"seconds": 2.0})
+        with pytest.raises(ServiceApiError) as info:
+            bob.submit("sleep_test", {"seconds": 0.1})
+        assert info.value.status == 403
+        assert info.value.code == "quota_exceeded"
+
+        # Alice is unaffected: her quota is her own.
+        alice_doc = alice.submit("sleep_test", {"seconds": 0.1})
+        assert alice.wait(alice_doc["id"], timeout=60)["status"] in (
+            COMPLETED, CANCELLED
+        )
+        bob.cancel(first["id"])
+        bob.cancel(second["id"])
+        bob.wait(first["id"], timeout=60)
+        bob.wait(second["id"], timeout=60)
+
+    def test_rate_limit_is_429_with_retry_after(self, tmp_path):
+        registry = TenantRegistry([
+            Tenant(name="slow", key="slow-key", rate=0.5, burst=1,
+                   max_active=8),
+        ])
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "rate-cache"),
+            tenants=registry, max_running=1, max_queued=8,
+        ))
+        try:
+            client = ServiceClient(handle.base_url, "slow-key")
+            first = client.submit("sleep_test", {"seconds": 0.05})
+            with pytest.raises(ServiceApiError) as info:
+                client.submit("sleep_test", {"seconds": 0.05})
+            assert info.value.status == 429
+            assert info.value.code == "rate_limited"
+            assert info.value.retry_after is not None
+            assert info.value.retry_after >= 1
+            client.wait(first["id"], timeout=60)
+        finally:
+            handle.stop()
+
+    def test_backlog_is_429(self, tmp_path):
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "bp-cache"),
+            tenants=_registry(), max_running=1, max_queued=1,
+        ))
+        try:
+            alice = ServiceClient(handle.base_url, "alice-key")
+            bob = ServiceClient(handle.base_url, "bob-key")
+            running = alice.submit("sleep_test", {"seconds": 2.0})
+            queued = bob.submit("sleep_test", {"seconds": 0.05})
+            with pytest.raises(ServiceApiError) as info:
+                alice.submit("sleep_test", {"seconds": 0.05})
+            assert info.value.status == 429
+            assert info.value.code == "backlog_full"
+            # The jobs already admitted still complete.
+            alice.cancel(running["id"])
+            assert bob.wait(queued["id"], timeout=60)["status"] == \
+                COMPLETED
+        finally:
+            handle.stop()
+
+    def test_jobs_are_tenant_scoped(self, alice, bob):
+        doc = alice.run("kernel_run", KERNEL_PARAMS)
+        with pytest.raises(ServiceApiError) as info:
+            bob.status(doc["id"])
+        assert info.value.status == 404
+        assert any(j["id"] == doc["id"] for j in alice.jobs())
+        assert all(j["id"] != doc["id"] for j in bob.jobs())
+
+    def test_unknown_artifact_is_404(self, alice):
+        with pytest.raises(ServiceApiError) as info:
+            alice.artifact("f" * 64)
+        assert info.value.status == 404
+        with pytest.raises(ServiceApiError) as info:
+            alice.artifact("../../etc/passwd")
+        assert info.value.status == 404
+
+
+class TestCancel:
+    def test_cancel_running_job(self, alice):
+        doc = alice.submit("sleep_test", {"seconds": 20.0})
+        deadline = time.monotonic() + 10
+        while alice.status(doc["id"])["status"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        started = time.monotonic()
+        alice.cancel(doc["id"])
+        final = alice.wait(doc["id"], timeout=30)
+        assert final["status"] == CANCELLED
+        assert time.monotonic() - started < 10
+        events = [e["event"] for e in alice.events(doc["id"])]
+        assert "cancel_requested" in events
+        assert events[-1] == "cancelled"
+
+    def test_cancel_queued_job(self, tmp_path):
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "cq-cache"),
+            tenants=_registry(), max_running=1, max_queued=2,
+        ))
+        try:
+            alice = ServiceClient(handle.base_url, "alice-key")
+            running = alice.submit("sleep_test", {"seconds": 2.0})
+            queued = alice.submit("sleep_test", {"seconds": 10.0})
+            final = alice.cancel(queued["id"])
+            # Depending on timing the executor may already have
+            # started it; either way it must reach CANCELLED fast.
+            final = alice.wait(queued["id"], timeout=30)
+            assert final["status"] == CANCELLED
+            alice.cancel(running["id"])
+        finally:
+            handle.stop()
+
+    def test_failed_job_reports_error(self, alice):
+        doc = alice.run("dse_sweep", {"designs": ["NoSuchDesign"],
+                                      "transactions": 1})
+        assert doc["status"] == "failed"
+        assert "NoSuchDesign" in doc["error"]
+        assert "result" not in doc
+
+
+class TestDrain:
+    def test_drain_rejects_new_submissions(self, handle, alice):
+        doc = alice.submit("sleep_test", {"seconds": 5.0})
+        leftovers = handle.service.drain(grace_s=0.2)
+        assert leftovers  # the sleeper outlived the grace period
+        with pytest.raises(ServiceApiError) as info:
+            alice.submit("kernel_run", KERNEL_PARAMS)
+        assert info.value.status == 503
+        final = alice.wait(doc["id"], timeout=30)
+        assert final["status"] == CANCELLED
+
+
+class TestUnits:
+    def test_token_bucket(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire()[0] is True
+        granted, retry = bucket.try_acquire()
+        assert granted is False
+        assert 0.0 < retry <= 0.1
+
+    def test_registry_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            TenantRegistry([
+                Tenant(name="a", key="k"),
+                Tenant(name="b", key="k"),
+            ])
+        with pytest.raises(ValueError):
+            TenantRegistry([
+                Tenant(name="a", key="k1"),
+                Tenant(name="a", key="k2"),
+            ])
+
+    def test_registry_from_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            '{"tenants": [{"name": "x", "key": "kx", "rate": 3,'
+            ' "burst": 5, "max_active": 7}]}'
+        )
+        registry = TenantRegistry.from_file(path)
+        tenant = registry.authenticate("kx")
+        assert tenant.name == "x"
+        assert tenant.max_active == 7
+        path.write_text('{"tenants": []}')
+        with pytest.raises(ValueError):
+            TenantRegistry.from_file(path)
+
+    def test_validate_params(self):
+        schema = {
+            "n": Field(int, default=2, minimum=1, maximum=4),
+            "name": Field(str, required=True),
+        }
+        assert validate_params(schema, {"name": "x"}) == \
+            {"n": 2, "name": "x"}
+        for bad in ({"name": "x", "n": 9}, {"name": "x", "n": True},
+                    {"n": 1}, {"name": "x", "zzz": 0}, "not-a-dict"):
+            with pytest.raises(ValidationError):
+                validate_params(schema, bad)
+
+    def test_job_store_evicts_only_terminal(self):
+        store = JobStore(max_records=2)
+        live = JobRecord("t", "sleep_test", {})
+        done = JobRecord("t", "sleep_test", {})
+        done.set_status(COMPLETED)
+        store.add(done)
+        store.add(live)
+        extra = JobRecord("t", "sleep_test", {})
+        store.add(extra)
+        assert store.get(done.id) is None      # evicted (terminal)
+        assert store.get(live.id) is live      # kept (still active)
+        assert store.active_count("t") == 2
+
+    def test_artifact_store_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "arts")
+        descriptor = store.put("a.txt", "hello", "text/plain")
+        again = store.put("a.txt", "hello", "text/plain")
+        assert descriptor["digest"] == again["digest"]
+        meta, data = store.get(descriptor["digest"])
+        assert data == b"hello"
+        assert meta["name"] == "a.txt"
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+        with pytest.raises(KeyError):
+            store.get("../sneaky")
