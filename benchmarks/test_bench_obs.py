@@ -103,6 +103,51 @@ class TestDisabledOverhead:
         assert budget_s < 0.05 * baseline_s
         assert ratio < 1.25, (baseline_s, again_s)
 
+    def test_flight_ring_append_is_cheap(self):
+        """The always-on flight recorder's hot-path unit is one dict
+        wrap + deque append; it must stay nanosecond-scale, because it
+        runs with profiling off."""
+        from repro.obs import flight
+
+        assert flight.enabled()    # the default, part of the baseline
+        payload = {"event": "job_done",
+                   "payload": {"label": "bench", "status": "completed"}}
+        append_ns = timeit.timeit(
+            lambda: flight.record("event", payload), number=100_000,
+        ) * 1e4
+        flight.clear()
+        print_result(
+            "Flight-recorder ring append (per record)",
+            f"record()            {append_ns:8.0f} ns",
+        )
+        # Events are rare (per job / per stage, not per gate); even a
+        # generous ceiling keeps the recorder invisible next to the
+        # 5% study bar.
+        assert append_ns < 50_000
+
+    def test_yield_study_with_ring_only_under_5pct(self, netlist):
+        """Acceptance: the enabled-by-default ring (with metrics and
+        tracing still off) holds the same < 5% bar as the disabled
+        path -- measured as ring-on vs ring-off study runs."""
+        from repro.obs import flight
+
+        ring_on_s = _study_seconds(netlist)     # default: ring enabled
+        flight.configure(enabled=False)
+        try:
+            ring_off_s = _study_seconds(netlist)
+        finally:
+            flight.configure(enabled=True)
+        overhead = ring_on_s / ring_off_s - 1
+        print_result(
+            "Flight-ring overhead (yield study, 8 wafers)",
+            f"ring on      {ring_on_s * 1e3:8.1f} ms\n"
+            f"ring off     {ring_off_s * 1e3:8.1f} ms\n"
+            f"overhead     {overhead * 100:8.2f}%",
+        )
+        # Same bar as the disabled-obs acceptance test, with the same
+        # noise allowance as its A/B spread check.
+        assert ring_on_s < 1.25 * ring_off_s, (ring_on_s, ring_off_s)
+
     def test_enabled_cost_report(self, netlist):
         """Not an acceptance bar -- just an honest number for the docs:
         what full metrics+tracing collection costs on the same study."""

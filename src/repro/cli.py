@@ -511,6 +511,31 @@ def cmd_obs(args):
             return 1
         print(obs_logging.render_log_records(records))
         return 0
+    if args.action == "flight":
+        from repro.obs import flight
+
+        flight_action = args.flight_action or "show"
+        if flight_action == "dump":
+            path = flight.dump("cli", root=root)
+            if path is None:
+                print("flight dump failed (state dir not writable?)",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote flight dump: {path}")
+            return 0
+        if flight_action == "show":
+            document = flight.load_dump(args.entry, root=root)
+            if document is None:
+                print("no flight dump found in "
+                      f"{flight.flight_dir(root)}"
+                      + (f" matching {args.entry!r}"
+                         if args.entry else ""))
+                return 1
+            print(flight.render(document, limit=args.lines))
+            return 0
+        print(f"unknown flight action '{flight_action}' "
+              "(use dump or show)", file=sys.stderr)
+        return 2
     print(f"unknown obs action '{args.action}'", file=sys.stderr)
     return 2
 
@@ -686,7 +711,10 @@ def cmd_client(args):
             return 0
         if action == "submit":
             params = _parse_client_params(args.param)
-            document = client.submit(args.type, params)
+            document = client.submit(
+                args.type, params,
+                traceparent=getattr(args, "traceparent", None),
+            )
             if args.wait:
                 document = client.wait(
                     document["id"], timeout=args.timeout
@@ -723,8 +751,47 @@ def cmd_client(args):
                       f"{doc['status']:<10} "
                       f"cache_hit={str(doc['cache_hit']).lower()}")
             return 0
+        if action == "trace":
+            if args.chrome:
+                print(json_module.dumps(
+                    client.trace(args.job, format="chrome"), indent=2
+                ))
+                return 0
+            document = client.trace(args.job)
+            print(f"trace {document['trace_id']} "
+                  f"(job {document['job']}, {document['status']}, "
+                  f"{document['span_count']} span(s))")
+            print(document["tree"])
+            return 0
+        if action == "slo":
+            print(json_module.dumps(client.slo(), indent=2))
+            return 0
         print(f"unknown client action '{action}'", file=sys.stderr)
         return 2
+    except ServiceApiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ConnectionRefusedError:
+        print(f"error: no service at {client.host}:{client.port} "
+              "(start one with 'repro serve')", file=sys.stderr)
+        return 1
+
+
+def cmd_top(args):
+    from repro.service import ServiceApiError
+    from repro.service.top import run_top
+
+    client = _client_connection(args)
+    count = 1 if args.once else args.count
+    try:
+        run_top(
+            client, interval_s=args.interval, count=count,
+            clear=not args.once and count != 1,
+        )
+        return 0
+    except KeyboardInterrupt:
+        print()  # leave the last frame visible
+        return 0
     except ServiceApiError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -850,18 +917,29 @@ def build_parser():
 
     p = sub.add_parser(
         "obs",
-        help="observability: summary / export / tail of the last run",
+        help="observability: summary / export / tail / flight recorder",
     )
-    p.add_argument("action", choices=("summary", "export", "tail"),
+    p.add_argument("action",
+                   choices=("summary", "export", "tail", "flight"),
                    help="'summary' prints the span tree + metrics of "
                         "the last profiled run; 'export' emits it in a "
                         "machine format; 'tail' shows recent log "
-                        "records")
+                        "records; 'flight' dumps/shows the always-on "
+                        "flight recorder ring")
+    p.add_argument("flight_action", nargs="?", default=None,
+                   choices=("dump", "show"),
+                   help="with 'flight': 'dump' writes the current ring "
+                        "to <state>/flight/, 'show' renders the latest "
+                        "(or a named) dump")
+    p.add_argument("entry", nargs="?", default=None,
+                   help="with 'flight show': a dump filename or path "
+                        "(default: the latest)")
     p.add_argument("--format", default="prometheus",
                    choices=("prometheus", "jsonl", "chrome"),
                    help="export format (default: prometheus)")
     p.add_argument("-n", "--lines", type=_positive_int, default=20,
-                   help="log records to show with 'tail' (default 20)")
+                   help="log records to show with 'tail', or flight "
+                        "records with 'flight show' (default 20)")
     p.add_argument("--state-dir", default=None,
                    help="state directory (default: .repro-state or "
                         "$REPRO_STATE_DIR)")
@@ -971,6 +1049,9 @@ def build_parser():
     k.add_argument("--wait", action="store_true",
                    help="poll until the job finishes and print the "
                         "final document")
+    k.add_argument("--traceparent", default=None, metavar="HEADER",
+                   help="propagate a W3C traceparent (default: the "
+                        "service mints one per job)")
     k.set_defaults(fn=cmd_client)
 
     k = ksub.add_parser("status", help="fetch one job's document")
@@ -997,11 +1078,49 @@ def build_parser():
     k = ksub.add_parser("jobs", help="list this tenant's jobs")
     k.set_defaults(fn=cmd_client)
 
+    k = ksub.add_parser("trace",
+                        help="fetch one job's assembled span tree")
+    k.add_argument("job", help="job id")
+    k.add_argument("--chrome", action="store_true",
+                   help="emit Chrome trace_event JSON instead of the "
+                        "tree document")
+    k.set_defaults(fn=cmd_client)
+
+    k = ksub.add_parser("slo", help="per-tenant SLO report")
+    k.set_defaults(fn=cmd_client)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over /v1/stats + /v1/slo",
+    )
+    p.add_argument("--url", default=None,
+                   help="service URL (default: $REPRO_SERVICE_URL or "
+                        "http://127.0.0.1:8321)")
+    p.add_argument("--key", default=None,
+                   help="API key (default: $REPRO_SERVICE_KEY or the "
+                        "dev key)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="request timeout in seconds (default 30)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between frames (default 2)")
+    p.add_argument("--count", type=_positive_int, default=None,
+                   metavar="N",
+                   help="render N frames then exit (default: forever)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame without clearing the "
+                        "screen (same as --count 1)")
+    p.set_defaults(fn=cmd_top)
+
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    from repro.obs import flight as _flight
+
+    # SIGQUIT (Ctrl-\) dumps the always-on flight recorder ring to the
+    # state dir and keeps running -- post-mortem for a wedged command.
+    _flight.install_sigquit()
     if hasattr(args, "profile"):
         _configure_obs(args)
     try:

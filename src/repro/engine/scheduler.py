@@ -309,6 +309,14 @@ class Engine:
             "status": "failed", "attempts": attempt,
             "elapsed_s": 0.0, "where": "serial",
         })
+        try:
+            from repro.obs import flight
+            flight.dump("engine_job_failure", context={
+                "label": job.label, "fn": _fn_name(job),
+                "attempts": attempt, "error": str(last_error),
+            })
+        except Exception:  # diagnostics must not mask the real failure
+            pass
         raise EngineJobError(job.label, attempt, last_error)
 
     # -- parallel path -------------------------------------------------

@@ -28,6 +28,7 @@ unconditionally (a disabled span is a no-op)::
             obs.registry().counter("fab_dies_probed_total").inc(n)
 """
 
+import os
 import time
 
 from repro.obs import metrics as _metrics
@@ -56,7 +57,15 @@ from repro.obs.spans import (  # noqa: F401
     activate_worker,
     adopt_spans,
     collected_spans,
+    current_trace_id,
     drain_spans,
+    drain_trace,
+    enable_tracing,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    pop_trace,
+    push_trace,
     render_tree,
     span,
     start_tracing,
@@ -73,11 +82,14 @@ from repro.obs.state import (  # noqa: F401
 
 __all__ = [
     "active", "activate_worker", "adopt_spans", "collected_spans",
-    "configure", "drain_spans", "engine_bridge", "export_text",
-    "get_logger", "load_snapshot", "persist_snapshot", "registry",
-    "render_metrics_jsonl", "render_prometheus", "render_tree", "reset",
-    "span", "start_tracing", "state_dir", "stop_tracing", "summary",
-    "to_chrome", "trace_context", "tracing_enabled",
+    "configure", "current_trace_id", "drain_spans", "drain_trace",
+    "enable_tracing", "engine_bridge", "export_text",
+    "format_traceparent", "get_logger", "load_snapshot", "new_trace_id",
+    "parse_traceparent", "persist_snapshot", "pop_trace", "push_trace",
+    "registry", "render_metrics_jsonl", "render_prometheus",
+    "render_tree", "reset", "span", "start_tracing", "state_dir",
+    "stop_tracing", "summary", "to_chrome", "trace_context",
+    "tracing_enabled", "update_process_gauges",
 ]
 
 #: Process-wide metrics collection flag (spans have their own in
@@ -125,13 +137,20 @@ def configure(metrics=None, trace=None, log_level=None, quiet=None,
 
 
 def reset():
-    """Back to the all-off defaults; clears collected spans/metrics."""
+    """Back to the all-off defaults; clears collected spans/metrics.
+
+    The flight recorder ring is emptied but stays *enabled* -- it is
+    the always-on instrument, part of the baseline the overhead
+    benchmarks measure.
+    """
     global _metrics_active, _state_root
     _metrics_active = False
     _state_root = None
     _registry.reset()
     _spans.reset_spans()
     reset_logging()
+    from repro.obs import flight as _flight
+    _flight.clear()
 
 
 def _resolved_root():
@@ -187,6 +206,57 @@ def engine_bridge():
     from repro.obs.bridge import engine_event
 
     return engine_event
+
+
+# ----------------------------------------------------------------------
+# Standard process gauges (stock-Prometheus dashboard compatibility).
+# ----------------------------------------------------------------------
+
+_PROCESS_START = time.time()
+
+
+def _resident_memory_bytes():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return rss_kb if rss_kb > 1 << 32 else rss_kb * 1024
+    except Exception:
+        return None
+
+
+def _open_fds():
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def update_process_gauges(target=None):
+    """Refresh ``process_*`` gauges in ``target`` (default: the
+    process registry); called before every scrape/persist."""
+    target = target or _registry
+    target.gauge(
+        "process_uptime_seconds", "Seconds since process start",
+    ).set(time.time() - _PROCESS_START)
+    rss = _resident_memory_bytes()
+    if rss is not None:
+        target.gauge(
+            "process_resident_memory_bytes", "Resident set size",
+        ).set(rss)
+    fds = _open_fds()
+    if fds is not None:
+        target.gauge(
+            "process_open_fds", "Open file descriptors",
+        ).set(fds)
+    return target
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +341,7 @@ def persist_snapshot(root=None):
     """Write the registry snapshot and collected spans to the state
     directory (what ``repro obs summary|export`` reads back)."""
     root = root if root is not None else _state_root
+    update_process_gauges()
     snapshot = _registry.snapshot()
     _state.write_json(
         _state.METRICS_FILE,
@@ -309,3 +380,13 @@ def export_text(format, snapshot=None, spans=None):
         f"unknown export format {format!r}; "
         "choose prometheus, jsonl, or chrome"
     )
+
+
+# ----------------------------------------------------------------------
+# The always-on flight recorder taps in at import time (docs in
+# repro.obs.flight).  Last, so every module it hooks exists.
+# ----------------------------------------------------------------------
+
+from repro.obs import flight  # noqa: E402,F401
+
+flight.install()

@@ -56,6 +56,11 @@ def _fan_out(event, payload):
 def engine_event(event, payload):
     """The always-installed engine hook (logging + metrics fold)."""
     from repro import obs
+    from repro.obs import spans as _spans
+
+    trace_id = _spans.current_trace_id()
+    if trace_id is not None and "trace_id" not in payload:
+        payload["trace_id"] = trace_id
 
     _fan_out(event, payload)
 

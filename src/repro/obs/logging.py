@@ -22,6 +22,7 @@ import json
 import sys
 import time
 
+from repro.obs import spans as _spans
 from repro.obs import state as _state
 
 #: Numeric severity per level name (stdlib-compatible values).
@@ -42,6 +43,20 @@ class _Config:
 
 
 _config = _Config()
+_sinks = []                 # callables fed each structured record
+
+
+def add_log_sink(callback):
+    """Feed every at-or-above-threshold record to ``callback``."""
+    if callback not in _sinks:
+        _sinks.append(callback)
+
+
+def remove_log_sink(callback):
+    try:
+        _sinks.remove(callback)
+    except ValueError:
+        pass
 
 
 def level_number(level):
@@ -100,15 +115,24 @@ def _emit(name, number, message, fields, force=False):
         stream.write(render_human(name, level, message, fields) + "\n")
     except (OSError, ValueError):
         pass
-    if _config.jsonl_root is not None:
+    if _config.jsonl_root is not None or _sinks:
         record = {"ts": time.time(), "level": level, "logger": name,
                   "event": message}
+        trace_id = _spans.current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         for key, value in fields.items():
             record[key] = value if isinstance(
                 value, (bool, int, float, str, type(None))
             ) else str(value)
-        _state.append_jsonl(_state.LOG_FILE, record,
-                            root=_config.jsonl_root)
+        for sink in list(_sinks):
+            try:
+                sink(record)
+            except Exception:
+                pass
+        if _config.jsonl_root is not None:
+            _state.append_jsonl(_state.LOG_FILE, record,
+                                root=_config.jsonl_root)
 
 
 class Logger:

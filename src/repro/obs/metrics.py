@@ -105,6 +105,13 @@ class Histogram:
     def count(self, **labels):
         return self._series.get(_label_key(labels), {}).get("count", 0)
 
+    def quantile(self, q, **labels):
+        """Estimated ``q``-quantile for one labelled cell (seconds)."""
+        cell = self._series.get(_label_key(labels))
+        if not cell:
+            return 0.0
+        return histogram_quantile(q, self.buckets, cell["counts"])
+
     def mean(self, **labels):
         cell = self._series.get(_label_key(labels))
         if not cell or not cell["count"]:
@@ -196,6 +203,33 @@ class Registry:
             counter = self.counter(name, help=data.get("help", ""))
             for entry in data.get("values", []):
                 counter.inc(entry["value"], **entry.get("labels", {}))
+
+
+def histogram_quantile(q, buckets, counts):
+    """Estimate the ``q``-quantile from per-bucket counts.
+
+    ``buckets`` are the upper bounds, ``counts`` the per-bucket (not
+    cumulative) observation counts with the overflow bucket last --
+    exactly a :class:`Histogram` cell.  Linear interpolation within
+    the containing bucket, Prometheus-style; the overflow bucket
+    reports its lower bound (there is no upper edge to interpolate
+    toward).  Returns 0.0 when the cell is empty.
+    """
+    total = sum(counts)
+    if not total:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts[:-1]):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            low = buckets[index - 1] if index else 0.0
+            high = buckets[index]
+            fraction = (rank - previous) / count
+            return low + (high - low) * fraction
+    return float(buckets[-1])
 
 
 # ----------------------------------------------------------------------

@@ -36,10 +36,80 @@ _root_parent = None      # parent id grafted onto worker-side roots
 _finished = []           # finished span record dicts, in close order
 _ids = itertools.count(1)
 _current = ContextVar("repro_obs_span", default=None)
+#: Per-task/thread (trace_id, parent_span_id) override of the globals.
+#: The service sets this for each HTTP request so concurrent jobs keep
+#: distinct W3C trace ids while sharing one process-wide span buffer.
+_ctx_trace = ContextVar("repro_obs_trace", default=None)
+_sinks = []              # callables fed each finished span record
 
 
 def tracing_enabled():
     return _TRACING
+
+
+# ----------------------------------------------------------------------
+# W3C-style trace identity.
+# ----------------------------------------------------------------------
+
+def new_trace_id():
+    """A fresh 32-hex-char trace id (W3C ``trace-id`` width)."""
+    return uuid.uuid4().hex
+
+
+def parse_traceparent(header):
+    """``(trace_id, parent_id)`` from a W3C ``traceparent``, or None.
+
+    Accepts ``00-<32 hex>-<16 hex>-<2 hex>``; rejects the all-zero
+    trace id per the spec.  Malformed headers are ignored (a service
+    should mint a fresh trace rather than fail the request).
+    """
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4 or parts[0] != "00":
+        return None
+    trace_id, parent_id = parts[1], parts[2]
+    if len(trace_id) != 32 or len(parent_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(parent_id, 16)
+        int(parts[3], 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return (trace_id, parent_id)
+
+
+def format_traceparent(trace_id, span_id=None):
+    """Render a W3C ``traceparent`` header value for ``trace_id``."""
+    parent = (span_id or "").replace(":", "")
+    parent = (parent[-16:] if parent else uuid.uuid4().hex[:16]).zfill(16)
+    trace = (trace_id or new_trace_id())[:32].zfill(32)
+    return f"00-{trace}-{parent}-01"
+
+
+def push_trace(trace_id, parent_id=None):
+    """Bind a trace identity to the current thread/task.
+
+    Returns a token for :func:`pop_trace`.  While bound, spans record
+    ``trace_id`` (instead of the process-global id) and new root spans
+    parent under ``parent_id``.
+    """
+    return _ctx_trace.set((trace_id, parent_id))
+
+
+def pop_trace(token):
+    _ctx_trace.reset(token)
+
+
+def current_trace_id():
+    """The trace id in effect here: context binding, else the global."""
+    bound = _ctx_trace.get()
+    if bound is not None:
+        return bound[0]
+    return _trace_id
 
 
 def start_tracing(trace_id=None, parent_id=None, process=None):
@@ -59,6 +129,24 @@ def start_tracing(trace_id=None, parent_id=None, process=None):
     return _trace_id
 
 
+def enable_tracing(process=None):
+    """Turn span recording on *without* discarding collected spans.
+
+    Unlike :func:`start_tracing` this is safe to call on a process that
+    is already collecting: the buffer and trace id survive, so a
+    long-lived service can flip tracing on at boot and keep per-request
+    identities via :func:`push_trace`.  Returns the global trace id.
+    """
+    global _TRACING, _trace_id
+    _TRACING = True
+    if _trace_id is None:
+        _trace_id = new_trace_id()
+    if process is not None:
+        global _process
+        _process = process
+    return _trace_id
+
+
 def stop_tracing():
     global _TRACING
     _TRACING = False
@@ -72,6 +160,20 @@ def reset_spans():
     _process = "main"
     _finished.clear()
     _current.set(None)
+    _ctx_trace.set(None)
+
+
+def add_span_sink(callback):
+    """Feed every finished span record to ``callback`` (idempotent)."""
+    if callback not in _sinks:
+        _sinks.append(callback)
+
+
+def remove_span_sink(callback):
+    try:
+        _sinks.remove(callback)
+    except ValueError:
+        pass
 
 
 def trace_context():
@@ -79,8 +181,15 @@ def trace_context():
     if not _TRACING:
         return None
     active = _current.get()
-    parent = active.id if active is not None else _root_parent
-    return (_trace_id, parent)
+    bound = _ctx_trace.get()
+    trace = bound[0] if bound is not None else _trace_id
+    if active is not None:
+        parent = active.id
+    elif bound is not None:
+        parent = bound[1]
+    else:
+        parent = _root_parent
+    return (trace, parent)
 
 
 def activate_worker(context, process=None):
@@ -111,7 +220,29 @@ def collected_spans():
 
 def adopt_spans(records):
     """Graft records drained in another process into this collection."""
-    _finished.extend(records or [])
+    records = records or []
+    _finished.extend(records)
+    for sink in list(_sinks):
+        for record in records:
+            try:
+                sink(record)
+            except Exception:
+                pass
+
+
+def drain_trace(trace_id):
+    """Remove and return the finished records belonging to one trace.
+
+    Lets the service harvest exactly the spans of a completed job from
+    the shared buffer without disturbing concurrent requests' spans.
+    """
+    if trace_id is None:
+        return []
+    kept, mine = [], []
+    for record in _finished:
+        (mine if record.get("trace") == trace_id else kept).append(record)
+    _finished[:] = kept
+    return mine
 
 
 class span:
@@ -129,7 +260,11 @@ class span:
         if not _TRACING:
             return self
         parent = _current.get()
-        self._parent = parent.id if parent is not None else _root_parent
+        if parent is not None:
+            self._parent = parent.id
+        else:
+            bound = _ctx_trace.get()
+            self._parent = bound[1] if bound is not None else _root_parent
         self.id = f"{os.getpid()}:{next(_ids)}"
         self._token = _current.set(self)
         self._start = time.time()
@@ -141,11 +276,12 @@ class span:
         if self.id is None:
             return False
         _current.reset(self._token)
+        bound = _ctx_trace.get()
         record = {
             "name": self.name,
             "id": self.id,
             "parent": self._parent,
-            "trace": _trace_id,
+            "trace": bound[0] if bound is not None else _trace_id,
             "process": _process,
             "pid": os.getpid(),
             "start": self._start,
@@ -162,6 +298,11 @@ class span:
                 for key, value in self.attrs.items()
             }
         _finished.append(record)
+        for sink in list(_sinks):
+            try:
+                sink(record)
+            except Exception:
+                pass
         self.id = None
         return False
 

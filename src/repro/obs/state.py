@@ -39,6 +39,48 @@ def state_dir(root=None):
                 or DEFAULT_STATE_DIRNAME)
 
 
+#: Swallowed ``OSError`` counts per file name.  Writers stay silent to
+#: the caller (observability must never fail a run) but the failures
+#: are counted, folded into ``obs_write_errors_total``, and announced
+#: by one warn-once log line so a read-only state dir is visible.
+_WRITE_ERRORS = {}
+_write_warned = False
+
+
+def write_error_count(name=None):
+    """Swallowed write failures so far (for ``name``, or in total)."""
+    if name is not None:
+        return _WRITE_ERRORS.get(name, 0)
+    return sum(_WRITE_ERRORS.values())
+
+
+def _note_write_failure(name, exc):
+    global _write_warned
+    _WRITE_ERRORS[name] = _WRITE_ERRORS.get(name, 0) + 1
+    try:
+        from repro import obs
+        if obs.active():
+            obs.registry().counter(
+                "obs_write_errors_total",
+                "State-dir writes swallowed as OSError",
+            ).inc(file=name)
+    except Exception:  # pragma: no cover - obs must never break IO
+        pass
+    if _write_warned:
+        return
+    # Flip the latch *before* logging: the warning itself may try to
+    # persist through append_jsonl and fail straight back into here.
+    _write_warned = True
+    try:
+        from repro.obs.logging import get_logger
+        get_logger("repro.obs.state").warning(
+            "state-dir write failed; further failures counted silently",
+            file=name, error=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception:  # pragma: no cover
+        pass
+
+
 def write_json(name, payload, root=None):
     """Atomically write one JSON document; returns True on success."""
     directory = state_dir(root)
@@ -48,7 +90,8 @@ def write_json(name, payload, root=None):
         with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=2, default=str)
         os.replace(tmp, directory / name)
-    except OSError:
+    except OSError as exc:
+        _note_write_failure(name, exc)
         return False
     return True
 
@@ -72,7 +115,8 @@ def write_jsonl(name, records, root=None):
             for record in records:
                 handle.write(json.dumps(record, default=str) + "\n")
         os.replace(tmp, directory / name)
-    except OSError:
+    except OSError as exc:
+        _note_write_failure(name, exc)
         return False
     return True
 
@@ -93,7 +137,8 @@ def append_jsonl(name, record, root=None):
         directory.mkdir(parents=True, exist_ok=True)
         with open(directory / name, "ab", buffering=0) as handle:
             handle.write(payload)
-    except OSError:
+    except OSError as exc:
+        _note_write_failure(name, exc)
         return False
     return True
 

@@ -44,6 +44,7 @@ from repro.service.server import (
     serve,
     start_in_thread,
 )
+from repro.service.slo import SloMeter, outcome_class
 from repro.service.state import (
     CANCELLED,
     COMPLETED,
@@ -67,7 +68,8 @@ __all__ = [
     "DEV_TENANT_NAME", "FAILED", "Field", "JobRecord", "JobService",
     "JobStore", "JobType", "QUEUED", "RUNNING", "ServiceApiError",
     "ServiceClient", "ServiceConfig", "ServiceError", "ServiceHandle",
-    "ServiceServer", "TERMINAL", "Tenant", "TenantRegistry",
-    "TokenBucket", "ValidationError", "describe_job_types",
-    "job_types", "register_job_type", "serve", "start_in_thread",
+    "ServiceServer", "SloMeter", "TERMINAL", "Tenant",
+    "TenantRegistry", "TokenBucket", "ValidationError",
+    "describe_job_types", "job_types", "outcome_class",
+    "register_job_type", "serve", "start_in_thread",
 ]

@@ -59,17 +59,20 @@ class ServiceClient:
         self.api_key = api_key
         self.timeout = timeout
 
-    def _request(self, method, path, document=None):
+    def _request(self, method, path, document=None, headers=None):
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = (json.dumps(document).encode("utf-8")
                     if document is not None else None)
-            headers = {"Authorization": f"Bearer {self.api_key}"}
+            all_headers = {"Authorization": f"Bearer {self.api_key}"}
             if body is not None:
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
+                all_headers["Content-Type"] = "application/json"
+            if headers:
+                all_headers.update(headers)
+            connection.request(method, path, body=body,
+                               headers=all_headers)
             response = connection.getresponse()
             payload = response.read().decode("utf-8", "replace")
             if response.status >= 400:
@@ -90,15 +93,31 @@ class ServiceClient:
     def stats(self):
         return self._request("GET", "/v1/stats")
 
-    def submit(self, jobtype, params=None):
-        """Submit a job; returns the job document (with ``id``)."""
+    def slo(self):
+        """Per-tenant SLO report (``GET /v1/slo``)."""
+        return self._request("GET", "/v1/slo")
+
+    def submit(self, jobtype, params=None, traceparent=None):
+        """Submit a job; returns the job document (with ``id``).
+
+        ``traceparent`` propagates a caller-side W3C trace context;
+        without one the service mints a fresh trace per job.
+        """
+        headers = {"traceparent": traceparent} if traceparent else None
         return self._request(
             "POST", "/v1/jobs",
             {"type": jobtype, "params": params or {}},
+            headers=headers,
         )
 
     def status(self, job_id):
         return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def trace(self, job_id, format="tree"):
+        """The job's span tree (``format="chrome"`` for trace_event)."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/trace?format={format}"
+        )
 
     def jobs(self):
         return self._request("GET", "/v1/jobs")["jobs"]

@@ -38,8 +38,11 @@ from urllib.parse import parse_qs, urlsplit
 from repro import obs
 from repro.engine import EngineCancelled, ResultCache
 from repro.obs import bridge
+from repro.obs import flight
+from repro.obs import spans as obs_spans
 from repro.obs.logging import get_logger
 from repro.service.artifacts import ARTIFACTS_DIRNAME, ArtifactStore
+from repro.service.slo import SloMeter
 from repro.service.jobs import (
     JobContext,
     ValidationError,
@@ -106,6 +109,10 @@ class ServiceConfig:
     max_records: int = 4096
     #: Turn on the obs metrics registry for request/job accounting.
     metrics: bool = False
+    #: Record spans per request/job (the ``/v1/jobs/{id}/trace`` view).
+    tracing: bool = True
+    #: Most span records kept per job for the trace endpoint.
+    max_trace_spans: int = 1024
     #: Seconds a graceful drain waits for in-flight jobs.
     drain_grace_s: float = 30.0
 
@@ -129,10 +136,14 @@ class JobService:
             thread_name_prefix="repro-job",
         )
         self._local = threading.local()
+        self.slo = SloMeter()
         self._bridge_token = bridge.subscribe(self._on_engine_event)
         self._was_metrics_active = obs.active()
         if self.config.metrics and not self._was_metrics_active:
             obs.configure(metrics=True)
+        self._was_tracing = obs.tracing_enabled()
+        if self.config.tracing and not self._was_tracing:
+            obs.enable_tracing()
         self._closed = False
 
     # -- engine event attribution --------------------------------------
@@ -177,7 +188,7 @@ class JobService:
             )
         return tenant
 
-    def submit(self, tenant, jobtype_name, params):
+    def submit(self, tenant, jobtype_name, params, traceparent=None):
         """Admit and queue one job; returns the :class:`JobRecord`.
 
         Admission order matters: drain first (503 regardless of who
@@ -217,8 +228,18 @@ class JobService:
         jobtype = get_job_type(jobtype_name)
         normalized = validate_params(jobtype.schema, params or {})
         record = JobRecord(tenant.name, jobtype.name, normalized)
+        if self.config.tracing:
+            parsed = obs_spans.parse_traceparent(traceparent)
+            if parsed is not None:
+                record.trace_id, record.parent_span_id = parsed
+            else:
+                record.trace_id = obs_spans.new_trace_id()
+            record.traceparent = obs_spans.format_traceparent(
+                record.trace_id, record.parent_span_id
+            )
         self.store.add(record)
-        record.emit("queued", type=record.type, tenant=tenant.name)
+        record.emit("queued", type=record.type, tenant=tenant.name,
+                    trace_id=record.trace_id)
         record.future = self._executor.submit(self._execute, record)
         if obs.active():
             obs.registry().counter(
@@ -250,6 +271,19 @@ class JobService:
             record, self.cache, engine_jobs=self.config.engine_jobs
         )
         status = FAILED
+        trace_token = None
+        if record.trace_id is not None:
+            # Bind the request's trace to this executor thread: spans,
+            # log records, and bridge events below all carry it, and
+            # worker_context() ships it into pool workers.
+            trace_token = obs_spans.push_trace(
+                record.trace_id, record.parent_span_id
+            )
+        job_span = obs.span(
+            "service.job",
+            job=record.id, type=record.type, tenant=record.tenant,
+        )
+        job_span.__enter__()
         try:
             jobtype = get_job_type(record.type)
             result, artifacts = jobtype.runner(record.params, context)
@@ -283,7 +317,20 @@ class JobService:
             self._local.record = None
             record.engine = None
             record.finished = time.time()
+            job_span.set(status=status)
+            job_span.__exit__(None, None, None)
+            if trace_token is not None:
+                obs_spans.pop_trace(trace_token)
+            if record.trace_id is not None:
+                harvested = obs_spans.drain_trace(record.trace_id)
+                record.spans = harvested[:self.config.max_trace_spans]
             record.set_status(status)
+            wall_s = (record.finished - record.started
+                      if record.started else 0.0)
+            self.slo.account_job(
+                record.tenant, record.type, status,
+                record.cache_hit, wall_s,
+            )
             if obs.active():
                 registry = obs.registry()
                 registry.counter(
@@ -296,8 +343,7 @@ class JobService:
                     ).inc(type=record.type)
                 registry.histogram(
                     "service_job_seconds", "Job wall time",
-                ).observe(record.finished - record.started
-                          if record.started else 0.0)
+                ).observe(wall_s)
 
     def cancel(self, record):
         """Request cancellation; returns the record (idempotent)."""
@@ -368,6 +414,8 @@ class JobService:
         self._executor.shutdown(wait=True, cancel_futures=True)
         if self.config.metrics and not self._was_metrics_active:
             obs.configure(metrics=False)
+        if self.config.tracing and not self._was_tracing:
+            obs.stop_tracing()
 
 
 # ----------------------------------------------------------------------
@@ -458,6 +506,7 @@ class ServiceServer:
         started = time.perf_counter()
         route = "?"
         status = 500
+        request = None
         try:
             request = await self._read_request(reader)
             if request is None:
@@ -472,6 +521,11 @@ class ServiceServer:
         except Exception as exc:
             _log.warning(f"request failed: {type(exc).__name__}: {exc}")
             _log.debug(traceback.format_exc())
+            flight.dump("service_500", context={
+                "route": route,
+                "path": getattr(request, "path", None),
+                "error": f"{type(exc).__name__}: {exc}",
+            })
             try:
                 await self._send_json(writer, 500, {
                     "error": "internal",
@@ -485,14 +539,23 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
-            if obs.active():
-                registry = obs.registry()
-                registry.counter(
-                    "service_requests_total", "HTTP requests served",
-                ).inc(route=route, status=str(status))
-                registry.histogram(
-                    "service_request_seconds", "HTTP request latency",
-                ).observe(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            if request is not None:
+                tenant_name = (request.tenant.name
+                               if request.tenant is not None else None)
+                self.service.slo.observe_request(
+                    tenant_name, status, elapsed
+                )
+                if obs.active():
+                    registry = obs.registry()
+                    registry.counter(
+                        "service_requests_total", "HTTP requests served",
+                    ).inc(route=route, status=str(status),
+                          tenant=tenant_name or "-")
+                    registry.histogram(
+                        "service_request_seconds",
+                        "HTTP request latency",
+                    ).observe(elapsed, tenant=tenant_name or "-")
 
     async def _read_request(self, reader):
         try:
@@ -580,8 +643,18 @@ class ServiceServer:
         if path == "/v1/stats" and method == "GET":
             await self._send_json(writer, 200, self.service.stats())
             return "stats", 200
+        if path == "/v1/slo" and method == "GET":
+            await self._send_json(
+                writer, 200,
+                self.service.slo.report(self.service.tenants),
+            )
+            return "slo", 200
         if path == "/v1/metrics" and method == "GET":
-            snapshot = obs.registry().snapshot() if obs.active() else {}
+            # Process gauges always; the full registry when metrics
+            # collection is on.  Either way the output is stock
+            # Prometheus text a scraper can ingest.
+            obs.update_process_gauges()
+            snapshot = obs.registry().snapshot()
             await self._send_raw(
                 writer, 200, "text/plain; version=0.0.4",
                 obs.render_prometheus(snapshot).encode("utf-8"),
@@ -614,6 +687,7 @@ class ServiceServer:
             record = self.service.submit(
                 request.tenant, document["type"],
                 document.get("params") or {},
+                traceparent=request.headers.get("traceparent"),
             )
         except ValidationError as exc:
             raise ServiceError(400, "invalid_params", str(exc)) \
@@ -647,8 +721,43 @@ class ServiceServer:
             record = self._record_or_404(request, job_id)
             await self._stream_events(request, writer, record)
             return "job_events", 200
+        if action == "trace" and request.method == "GET":
+            record = self._record_or_404(request, job_id)
+            await self._route_trace(request, writer, record)
+            return "job_trace", 200
         raise ServiceError(404, "not_found",
                            f"no such route {request.path!r}")
+
+    async def _route_trace(self, request, writer, record):
+        """The assembled span tree of one job (``?format=chrome`` for
+        a Chrome ``trace_event`` document)."""
+        if record.trace_id is None:
+            raise ServiceError(
+                404, "no_trace",
+                f"job {record.id!r} carries no trace "
+                "(service tracing is disabled)",
+            )
+        spans = list(record.spans)
+        fmt = request.query.get("format", "tree")
+        if fmt == "chrome":
+            await self._send_json(
+                writer, 200, obs_spans.to_chrome(spans)
+            )
+            return
+        if fmt != "tree":
+            raise ServiceError(400, "bad_request",
+                               "format must be tree or chrome")
+        await self._send_json(writer, 200, {
+            "job": record.id,
+            "status": record.status,
+            "trace_id": record.trace_id,
+            "traceparent": record.traceparent,
+            "complete": record.terminal,
+            "span_count": len(spans),
+            "spans": spans,
+            "tree": obs_spans.render_tree(spans)
+            if spans else "(no spans recorded)",
+        })
 
     async def _stream_events(self, request, writer, record):
         """NDJSON long-poll: one event per line from ``?since=N`` until

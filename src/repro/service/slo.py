@@ -1,0 +1,203 @@
+"""Per-tenant SLO metering: latency objectives and error budgets.
+
+The meter is the service's always-on accountant.  It is deliberately
+independent of the opt-in :mod:`repro.obs` registry -- a tenant's
+error budget must not depend on whether anyone passed ``--profile`` --
+so it keeps its own tiny, thread-safe state: per-tenant request
+counts by outcome class, a latency histogram, and a usage table
+(jobs, cache hits, wall seconds consumed).
+
+Outcome classes, from the HTTP status:
+
+- ``ok``            -- 1xx-3xx
+- ``client_error``  -- 4xx except 429 (the tenant asked wrong)
+- ``throttled``     -- 429 (admission control working as designed)
+- ``server_error``  -- 5xx (burns the error budget)
+
+*Availability* is the non-5xx fraction of non-throttled requests:
+throttling is the service protecting itself, not failing, and a 4xx
+is the client's fault -- neither spends budget.  The error budget for
+objective ``a`` over ``n`` considered requests is ``(1 - a) * n``
+requests; ``remaining_fraction`` is what is left of it (1.0 with no
+traffic, clamped at -1.0 when deeply blown).
+
+``GET /v1/slo`` serves :meth:`SloMeter.report`; ``repro top`` renders
+it live next to ``/v1/stats``.
+"""
+
+import threading
+import time
+
+from repro.obs.metrics import Histogram
+
+#: Latency histogram bounds: finer than the obs default at the fast
+#: end, because cached service requests answer in well under 1 ms.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Accounting bucket for requests that failed authentication (no
+#: tenant to charge, but the traffic should still be visible).
+ANONYMOUS = "_anon"
+
+
+def outcome_class(status):
+    """The SLO outcome class for one HTTP status code."""
+    status = int(status)
+    if status == 429:
+        return "throttled"
+    if status >= 500:
+        return "server_error"
+    if status >= 400:
+        return "client_error"
+    return "ok"
+
+
+class SloMeter:
+    """Thread-safe per-tenant request/latency/usage accounting."""
+
+    def __init__(self):
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._requests = {}   # tenant -> {class: count}
+        self._latency = {}    # tenant -> Histogram cell
+        self._usage = {}      # tenant -> usage dict
+
+    # -- feeds (hot path: one lock, two dict updates) ------------------
+
+    def observe_request(self, tenant, status, seconds):
+        """Account one finished HTTP request to ``tenant``."""
+        tenant = tenant or ANONYMOUS
+        cls = outcome_class(status)
+        with self._lock:
+            counts = self._requests.setdefault(tenant, {})
+            counts[cls] = counts.get(cls, 0) + 1
+            histogram = self._latency.get(tenant)
+            if histogram is None:
+                histogram = self._latency[tenant] = Histogram(
+                    "service_request_seconds",
+                    buckets=LATENCY_BUCKETS,
+                )
+            histogram.observe(seconds)
+
+    def account_job(self, tenant, jobtype, status, cache_hit, wall_s):
+        """Account one terminal job to ``tenant``'s usage table."""
+        with self._lock:
+            usage = self._usage.setdefault(tenant, {
+                "jobs_total": 0, "by_status": {}, "by_type": {},
+                "cache_hits": 0, "wall_seconds": 0.0,
+            })
+            usage["jobs_total"] += 1
+            usage["by_status"][status] = \
+                usage["by_status"].get(status, 0) + 1
+            usage["by_type"][jobtype] = \
+                usage["by_type"].get(jobtype, 0) + 1
+            if cache_hit:
+                usage["cache_hits"] += 1
+            usage["wall_seconds"] += max(0.0, wall_s)
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, tenants=None):
+        """The ``GET /v1/slo`` document.
+
+        ``tenants`` is an optional :class:`TenantRegistry` supplying
+        per-tenant objectives; tenants without an entry (and the
+        anonymous bucket) report against the defaults.
+        """
+        from repro.service.tenants import (
+            DEFAULT_SLO_AVAILABILITY,
+            DEFAULT_SLO_LATENCY_P95_S,
+        )
+        with self._lock:
+            names = sorted(
+                set(self._requests) | set(self._usage)
+                | set(tenants.names() if tenants is not None else ())
+            )
+            out = {}
+            for name in names:
+                counts = dict(self._requests.get(name, {}))
+                histogram = self._latency.get(name)
+                usage = self._usage.get(name)
+                if usage is not None:
+                    usage = dict(
+                        usage,
+                        by_status=dict(usage["by_status"]),
+                        by_type=dict(usage["by_type"]),
+                        wall_seconds=round(usage["wall_seconds"], 6),
+                    )
+                tenant = tenants.get(name) if tenants is not None \
+                    else None
+                availability_target = (
+                    tenant.slo_availability if tenant is not None
+                    else DEFAULT_SLO_AVAILABILITY
+                )
+                latency_target = (
+                    tenant.slo_latency_p95_s if tenant is not None
+                    else DEFAULT_SLO_LATENCY_P95_S
+                )
+                out[name] = self._tenant_report(
+                    counts, histogram, usage,
+                    availability_target, latency_target,
+                )
+        return {
+            "window_s": round(time.time() - self.started, 3),
+            "tenants": out,
+        }
+
+    @staticmethod
+    def _tenant_report(counts, histogram, usage,
+                       availability_target, latency_target):
+        total = sum(counts.values())
+        server_errors = counts.get("server_error", 0)
+        considered = total - counts.get("throttled", 0)
+        availability = (
+            1.0 - server_errors / considered if considered else 1.0
+        )
+        allowed = (1.0 - availability_target) * considered
+        if allowed > 0:
+            budget_remaining = max(
+                -1.0, (allowed - server_errors) / allowed
+            )
+        else:
+            budget_remaining = 1.0 if not server_errors else -1.0
+        latency = {"count": 0, "mean_s": 0.0,
+                   "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0}
+        if histogram is not None and histogram.count():
+            latency = {
+                "count": histogram.count(),
+                "mean_s": round(histogram.mean(), 6),
+                "p50_s": round(histogram.quantile(0.50), 6),
+                "p95_s": round(histogram.quantile(0.95), 6),
+                "p99_s": round(histogram.quantile(0.99), 6),
+            }
+        return {
+            "requests": {
+                "total": total,
+                "ok": counts.get("ok", 0),
+                "client_error": counts.get("client_error", 0),
+                "throttled": counts.get("throttled", 0),
+                "server_error": server_errors,
+            },
+            "latency": latency,
+            "objective": {
+                "availability": availability_target,
+                "latency_p95_s": latency_target,
+            },
+            "availability": round(availability, 6),
+            "availability_met": availability >= availability_target,
+            "latency_p95_met": latency["p95_s"] <= latency_target,
+            "error_budget": {
+                "allowed": round(allowed, 3),
+                "spent": server_errors,
+                "remaining_fraction": round(budget_remaining, 4),
+            },
+            "usage": usage or {
+                "jobs_total": 0, "by_status": {}, "by_type": {},
+                "cache_hits": 0, "wall_seconds": 0.0,
+            },
+        }
+
+
+__all__ = ["ANONYMOUS", "LATENCY_BUCKETS", "SloMeter", "outcome_class"]

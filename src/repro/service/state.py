@@ -50,6 +50,13 @@ class JobRecord:
         self.cancel_requested = False
         #: Live engine while the job is running (the cancellation hook).
         self.engine = None
+        #: W3C-style trace identity (set at submission by the service).
+        self.trace_id = None
+        self.parent_span_id = None
+        self.traceparent = None
+        #: Finished span records harvested when the job went terminal
+        #: (the ``GET /v1/jobs/{id}/trace`` payload).
+        self.spans = []
         self._events = []
         self._cond = threading.Condition()
 
@@ -109,6 +116,9 @@ class JobRecord:
             "events": len(self._events),
             "artifacts": list(self.artifacts),
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+            doc["traceparent"] = self.traceparent
         if self.error is not None:
             doc["error"] = self.error
         if include_result and self.status == COMPLETED:

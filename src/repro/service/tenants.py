@@ -10,7 +10,8 @@ Config file format (``repro serve --tenants FILE``)::
 
     {"tenants": [
         {"name": "alice", "key": "a-secret", "rate": 10.0,
-         "burst": 20, "max_active": 4},
+         "burst": 20, "max_active": 4,
+         "slo": {"availability": 0.999, "latency_p95_s": 1.0}},
         {"name": "bob", "key": "b-secret"}
     ]}
 """
@@ -24,6 +25,10 @@ from dataclasses import dataclass, field
 DEFAULT_RATE = 10.0     # submissions per second, steady state
 DEFAULT_BURST = 20      # bucket capacity
 DEFAULT_MAX_ACTIVE = 4  # concurrent queued+running jobs
+
+#: Default service-level objectives (see ``repro.service.slo``).
+DEFAULT_SLO_AVAILABILITY = 0.99   # non-5xx fraction of requests
+DEFAULT_SLO_LATENCY_P95_S = 2.0   # request p95 latency bound
 
 #: The out-of-the-box development tenant (``repro serve`` with no
 #: --tenants file).  Not a secret -- the server warns when it is live.
@@ -66,6 +71,10 @@ class Tenant:
     rate: float = DEFAULT_RATE
     burst: int = DEFAULT_BURST
     max_active: int = DEFAULT_MAX_ACTIVE
+    #: SLO: target fraction of non-5xx requests (error budget base).
+    slo_availability: float = DEFAULT_SLO_AVAILABILITY
+    #: SLO: request latency p95 must stay below this many seconds.
+    slo_latency_p95_s: float = DEFAULT_SLO_LATENCY_P95_S
     bucket: TokenBucket = field(default=None, repr=False)
 
     def __post_init__(self):
@@ -123,6 +132,11 @@ class TenantRegistry:
                 raise ValueError(
                     f"{path}: every tenant needs 'name' and 'key'"
                 )
+            slo = entry.get("slo") or {}
+            if not isinstance(slo, dict):
+                raise ValueError(
+                    f"{path}: tenant 'slo' must be an object"
+                )
             tenants.append(Tenant(
                 name=str(entry["name"]),
                 key=str(entry["key"]),
@@ -130,6 +144,12 @@ class TenantRegistry:
                 burst=int(entry.get("burst", DEFAULT_BURST)),
                 max_active=int(
                     entry.get("max_active", DEFAULT_MAX_ACTIVE)
+                ),
+                slo_availability=float(
+                    slo.get("availability", DEFAULT_SLO_AVAILABILITY)
+                ),
+                slo_latency_p95_s=float(
+                    slo.get("latency_p95_s", DEFAULT_SLO_LATENCY_P95_S)
                 ),
             ))
         return cls(tenants)

@@ -1,0 +1,132 @@
+"""``repro top`` -- a live terminal dashboard for a running service.
+
+Polls ``GET /v1/stats`` and ``GET /v1/slo`` and renders one compact
+frame per interval: service headline (uptime, jobs by status, cache),
+then one block per tenant with request mix, latency quantiles,
+availability vs objective, error-budget burn, and the usage table.
+
+Rendering is a pure function of the two response documents
+(:func:`render_dashboard`), so tests exercise it without a terminal;
+the loop just clears the screen and reprints.
+"""
+
+import sys
+import time
+
+#: ANSI clear-screen + cursor-home (what ``watch`` does per frame).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bar(fraction, width=20):
+    """A [####----] meter for a 0..1 fraction (clamped)."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_seconds(seconds):
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_dashboard(stats, slo, now=None):
+    """One dashboard frame from ``/v1/stats`` + ``/v1/slo`` documents."""
+    lines = []
+    stamp = time.strftime("%H:%M:%S", time.localtime(now))
+    jobs = stats.get("jobs", {})
+    job_bits = " ".join(
+        f"{status}={count}" for status, count in sorted(jobs.items())
+    ) or "none"
+    cache = stats.get("cache", {})
+    lines.append(
+        f"repro top  {stamp}  "
+        f"up {_fmt_seconds(stats.get('uptime_s', 0.0))}"
+        + ("  DRAINING" if stats.get("draining") else "")
+    )
+    lines.append(
+        f"jobs: {job_bits}   slots: {stats.get('max_running', '?')} "
+        f"running / {stats.get('max_queued', '?')} queued   "
+        f"cache: {cache.get('entries', '?')} entries"
+    )
+    lines.append("")
+
+    tenants = (slo or {}).get("tenants", {})
+    if not tenants:
+        lines.append("(no tenant traffic yet)")
+        return "\n".join(lines)
+
+    header = (
+        f"{'tenant':<12} {'reqs':>6} {'ok':>5} {'thr':>4} {'4xx':>4} "
+        f"{'5xx':>4} {'p50':>8} {'p95':>8} {'p99':>8} "
+        f"{'avail':>8} {'budget':>22}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(tenants):
+        report = tenants[name]
+        requests = report.get("requests", {})
+        latency = report.get("latency", {})
+        budget = report.get("error_budget", {})
+        remaining = budget.get("remaining_fraction", 1.0)
+        availability = report.get("availability", 1.0)
+        marker = "" if report.get("availability_met", True) else " !"
+        lines.append(
+            f"{name:<12} {requests.get('total', 0):>6} "
+            f"{requests.get('ok', 0):>5} "
+            f"{requests.get('throttled', 0):>4} "
+            f"{requests.get('client_error', 0):>4} "
+            f"{requests.get('server_error', 0):>4} "
+            f"{latency.get('p50_s', 0.0) * 1000:>6.1f}ms "
+            f"{latency.get('p95_s', 0.0) * 1000:>6.1f}ms "
+            f"{latency.get('p99_s', 0.0) * 1000:>6.1f}ms "
+            f"{availability * 100:>7.2f}% "
+            f"[{_bar(remaining)}] {remaining * 100:>4.0f}%{marker}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'tenant':<12} {'jobs':>6} {'hits':>6} {'wall':>9}  by type"
+    )
+    for name in sorted(tenants):
+        usage = tenants[name].get("usage", {})
+        by_type = usage.get("by_type", {})
+        type_bits = " ".join(
+            f"{jobtype}={count}"
+            for jobtype, count in sorted(by_type.items())
+        ) or "-"
+        lines.append(
+            f"{name:<12} {usage.get('jobs_total', 0):>6} "
+            f"{usage.get('cache_hits', 0):>6} "
+            f"{usage.get('wall_seconds', 0.0):>8.2f}s  {type_bits}"
+        )
+    return "\n".join(lines)
+
+
+def run_top(client, interval_s=2.0, count=None, stream=None,
+            clear=True):
+    """Poll and render until interrupted (or ``count`` frames).
+
+    ``client`` is a :class:`~repro.service.client.ServiceClient`;
+    ``count=None`` loops until Ctrl-C.  Returns the number of frames
+    rendered (tests pass ``count=1``).
+    """
+    stream = stream or sys.stdout
+    frames = 0
+    while count is None or frames < count:
+        stats = client.stats()
+        slo = client.slo()
+        frame = render_dashboard(stats, slo)
+        if clear:
+            stream.write(CLEAR)
+        stream.write(frame + "\n")
+        stream.flush()
+        frames += 1
+        if count is not None and frames >= count:
+            break
+        time.sleep(interval_s)
+    return frames
+
+
+__all__ = ["CLEAR", "render_dashboard", "run_top"]

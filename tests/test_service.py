@@ -6,11 +6,15 @@ talks to it with the bundled clients -- the same path ``repro client``
 and the CI smoke job use.
 """
 
+import http.client
 import time
 
 import pytest
 
+from repro import obs
 from repro.engine import EngineCancelled
+from repro.obs import flight as obs_flight
+from repro.obs import state as obs_state
 from repro.service import (
     CANCELLED,
     COMPLETED,
@@ -26,9 +30,12 @@ from repro.service import (
     register_job_type,
     start_in_thread,
 )
+from repro.service import jobs as service_jobs
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobs import validate_params
+from repro.service.slo import SloMeter, outcome_class
 from repro.service.state import JobRecord
+from repro.service.top import render_dashboard
 
 KERNEL_PARAMS = {"kernel": "Parity Check", "transactions": 3}
 
@@ -409,3 +416,349 @@ class TestUnits:
             store.get("0" * 64)
         with pytest.raises(KeyError):
             store.get("../sneaky")
+
+
+# ----------------------------------------------------------------------
+# Tracing: traceparent in, span tree out
+# ----------------------------------------------------------------------
+
+TRACEPARENT = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+
+class TestTracing:
+    @pytest.fixture()
+    def traced_handle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR",
+                           str(tmp_path / "obs-state"))
+        obs.reset()
+        instance = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "trace-cache"),
+            tenants=_registry(), engine_jobs=2,
+            max_running=2, max_queued=4,
+        ))
+        yield instance
+        instance.stop()
+        obs.reset()
+
+    def test_client_traceparent_reaches_worker_spans(
+            self, traced_handle):
+        """The acceptance path: a client-supplied traceparent yields a
+        span tree whose leaves ran in worker processes, all stamped
+        with the same trace id."""
+        client = ServiceClient(traced_handle.base_url, "alice-key",
+                               timeout=120)
+        doc = client.submit(
+            "yield_study",
+            {"core": "flexicore4", "wafers": 2, "seed": 3},
+            traceparent=TRACEPARENT,
+        )
+        assert doc["trace_id"] == "ab" * 16
+        assert doc["traceparent"].startswith("00-" + "ab" * 16 + "-")
+        final = client.wait(doc["id"], timeout=120)
+        assert final["status"] == COMPLETED
+
+        trace = client.trace(doc["id"])
+        assert trace["trace_id"] == "ab" * 16
+        assert trace["complete"] is True
+        spans = trace["spans"]
+        assert spans
+        assert all(span["trace"] == "ab" * 16 for span in spans)
+        names = {span["name"] for span in spans}
+        assert "service.job" in names
+        processes = {span.get("process", "main") for span in spans}
+        assert any(process.startswith("worker-")
+                   for process in processes), processes
+        assert "service.job" in trace["tree"]
+
+    def test_minted_trace_and_chrome_export(self, traced_handle):
+        client = ServiceClient(traced_handle.base_url, "alice-key",
+                               timeout=120)
+        doc = client.submit("sleep_test", {"seconds": 0.02})
+        trace_id = doc["trace_id"]
+        assert len(trace_id) == 32
+        int(trace_id, 16)   # well-formed hex
+        client.wait(doc["id"], timeout=30)
+        chrome = client.trace(doc["id"], format="chrome")
+        assert "traceEvents" in chrome
+        assert any(event.get("name") == "service.job"
+                   for event in chrome["traceEvents"])
+
+    def test_jsonl_log_records_carry_trace_id(self, traced_handle):
+        obs.configure(log_level="debug", persist_log=True)
+        client = ServiceClient(traced_handle.base_url, "alice-key",
+                               timeout=120)
+        doc = client.submit(
+            "yield_study", {"core": "flexicore4", "wafers": 1,
+                            "seed": 11},
+            traceparent=TRACEPARENT,
+        )
+        client.wait(doc["id"], timeout=120)
+        records = obs_state.read_jsonl("log.jsonl")
+        assert any(record.get("trace_id") == "ab" * 16
+                   for record in records), \
+            "no JSONL log record carried the request trace id"
+
+    def test_tracing_disabled_is_404(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR",
+                           str(tmp_path / "obs-state"))
+        obs.reset()
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "nt-cache"),
+            tenants=_registry(), tracing=False,
+        ))
+        try:
+            client = ServiceClient(handle.base_url, "alice-key",
+                                   timeout=60)
+            doc = client.run("sleep_test", {"seconds": 0.01})
+            assert "trace_id" not in doc
+            with pytest.raises(ServiceApiError) as info:
+                client.trace(doc["id"])
+            assert info.value.status == 404
+        finally:
+            handle.stop()
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# SLO metering
+# ----------------------------------------------------------------------
+
+def _broken_runner(params, ctx):   # pragma: no cover - never reached
+    return {}, []
+
+
+class TestSlo:
+    def test_outcome_classes(self):
+        assert outcome_class(200) == "ok"
+        assert outcome_class(202) == "ok"
+        assert outcome_class(304) == "ok"
+        assert outcome_class(404) == "client_error"
+        assert outcome_class(429) == "throttled"
+        assert outcome_class(500) == "server_error"
+        assert outcome_class(503) == "server_error"
+
+    def test_meter_excludes_throttled_from_availability(self):
+        meter = SloMeter()
+        meter.observe_request("t", 200, 0.01)
+        for _ in range(5):
+            meter.observe_request("t", 429, 0.001)
+        report = meter.report()["tenants"]["t"]
+        assert report["requests"]["throttled"] == 5
+        assert report["availability"] == 1.0
+        meter.observe_request("t", 500, 0.01)
+        report = meter.report()["tenants"]["t"]
+        assert report["availability"] == pytest.approx(0.5)
+
+    def test_mixed_traffic_two_tenants(self, tmp_path, monkeypatch):
+        """The acceptance scenario: success + 429 + 500 through two
+        tenants, then assert quantiles, availability vs objective,
+        and the remaining error budget."""
+        monkeypatch.setenv("REPRO_STATE_DIR",
+                           str(tmp_path / "obs-state"))
+        obs.reset()
+        registry = TenantRegistry([
+            Tenant(name="alice", key="alice-key", rate=1000.0,
+                   burst=1000, max_active=4),
+            Tenant(name="bob", key="bob-key", rate=0.5, burst=1,
+                   max_active=2, slo_availability=0.5),
+        ])
+        register_job_type(
+            "broken_schema_test", "schema blows up in validation",
+            {"x": object()}, _broken_runner,
+        )
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "slo-cache"),
+            tenants=registry, max_running=2, max_queued=4,
+        ))
+        try:
+            alice = ServiceClient(handle.base_url, "alice-key",
+                                  timeout=60)
+            bob = ServiceClient(handle.base_url, "bob-key",
+                                timeout=60)
+            for index in range(3):
+                final = alice.run(
+                    "sleep_test", {"seconds": 0.01 + index / 1000})
+                assert final["status"] == COMPLETED
+            with pytest.raises(ServiceApiError) as info:
+                alice.submit("broken_schema_test", {})
+            assert info.value.status == 500
+            assert bob.run("sleep_test",
+                           {"seconds": 0.01})["status"] == COMPLETED
+            with pytest.raises(ServiceApiError) as info:
+                bob.submit("sleep_test", {"seconds": 0.01})
+            assert info.value.status == 429
+
+            report = alice.slo()
+            assert report["window_s"] > 0
+            a = report["tenants"]["alice"]
+            b = report["tenants"]["bob"]
+
+            assert a["requests"]["server_error"] == 1
+            assert a["requests"]["ok"] >= 6      # submits + polls
+            assert a["objective"]["availability"] == pytest.approx(
+                0.99)
+            assert 0.0 < a["availability"] < 1.0
+            assert a["availability_met"] is False
+            # One 500 against a 1% budget over this little traffic:
+            # the budget is overspent.
+            assert a["error_budget"]["spent"] == 1
+            assert a["error_budget"]["remaining_fraction"] < 0.0
+            latency = a["latency"]
+            assert latency["p50_s"] > 0.0
+            assert latency["p50_s"] <= latency["p95_s"] \
+                <= latency["p99_s"]
+            usage = a["usage"]
+            assert usage["jobs_total"] == 3
+            assert usage["by_status"] == {"completed": 3}
+            assert usage["by_type"] == {"sleep_test": 3}
+            assert usage["wall_seconds"] > 0.0
+
+            assert b["requests"]["throttled"] == 1
+            assert b["requests"]["server_error"] == 0
+            assert b["availability"] == 1.0
+            assert b["availability_met"] is True
+            assert b["objective"]["availability"] == pytest.approx(
+                0.5)
+            assert b["error_budget"]["remaining_fraction"] == 1.0
+            assert b["usage"]["jobs_total"] == 1
+        finally:
+            handle.stop()
+            service_jobs._JOB_TYPES.pop("broken_schema_test", None)
+            obs.reset()
+
+    def test_slo_objectives_parse_from_tenants_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(
+            '{"tenants": [{"name": "x", "key": "kx",'
+            ' "slo": {"availability": 0.999, "latency_p95_s": 0.25}}]}'
+        )
+        registry = TenantRegistry.from_file(path)
+        tenant = registry.authenticate("kx")
+        assert tenant.slo_availability == pytest.approx(0.999)
+        assert tenant.slo_latency_p95_s == pytest.approx(0.25)
+        meter = SloMeter()
+        meter.observe_request("x", 200, 0.01)
+        report = meter.report(registry)["tenants"]["x"]
+        assert report["objective"]["availability"] == \
+            pytest.approx(0.999)
+        assert report["objective"]["latency_p95_s"] == \
+            pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder at the service layer
+# ----------------------------------------------------------------------
+
+class TestServiceFlight:
+    def test_unhandled_500_dumps_the_flight_ring(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR",
+                           str(tmp_path / "obs-state"))
+        obs.reset()
+        register_job_type(
+            "broken_schema_test", "schema blows up in validation",
+            {"x": object()}, _broken_runner,
+        )
+        handle = start_in_thread(ServiceConfig(
+            port=0, cache=str(tmp_path / "fl-cache"),
+            tenants=_registry(),
+        ))
+        try:
+            alice = ServiceClient(handle.base_url, "alice-key",
+                                  timeout=60)
+            alice.run("sleep_test", {"seconds": 0.01})
+            with pytest.raises(ServiceApiError) as info:
+                alice.submit("broken_schema_test", {})
+            assert info.value.status == 500
+            dumps = obs_flight.list_dumps()
+            assert dumps, "an unhandled 500 must dump the flight ring"
+            document = obs_flight.load_dump()
+            assert document["reason"] == "service_500"
+            assert document["context"]["path"] == "/v1/jobs"
+            assert "AttributeError" in document["context"]["error"]
+        finally:
+            handle.stop()
+            service_jobs._JOB_TYPES.pop("broken_schema_test", None)
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# /v1/metrics: stock-Prometheus scrapability
+# ----------------------------------------------------------------------
+
+class TestMetricsEndpoint:
+    def test_process_gauges_always_scrapable(self, handle):
+        client = ServiceClient(handle.base_url, "alice-key")
+        connection = http.client.HTTPConnection(
+            client.host, client.port, timeout=30)
+        try:
+            connection.request(
+                "GET", "/v1/metrics",
+                headers={"Authorization": "Bearer alice-key"})
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/plain")
+        finally:
+            connection.close()
+        assert "# TYPE process_uptime_seconds gauge" in body
+        assert "# TYPE process_resident_memory_bytes gauge" in body
+        assert "# TYPE process_open_fds gauge" in body
+
+
+# ----------------------------------------------------------------------
+# repro top
+# ----------------------------------------------------------------------
+
+class TestTopDashboard:
+    def test_render_dashboard_frame(self):
+        stats = {
+            "uptime_s": 125.0, "draining": False,
+            "jobs": {"completed": 3, "running": 1},
+            "cache": {"entries": 5},
+            "max_running": 2, "max_queued": 4,
+        }
+        slo = {"window_s": 125.0, "tenants": {"alice": {
+            "requests": {"total": 10, "ok": 8, "throttled": 1,
+                         "client_error": 0, "server_error": 1},
+            "latency": {"p50_s": 0.01, "p95_s": 0.05, "p99_s": 0.09,
+                        "mean_s": 0.02},
+            "availability": 0.8889, "availability_met": False,
+            "objective": {"availability": 0.99,
+                          "latency_p95_s": 2.0},
+            "error_budget": {"allowed": 0.09, "consumed": 1,
+                             "remaining_fraction": -1.0},
+            "usage": {"jobs_total": 4, "cache_hits": 1,
+                      "wall_seconds": 1.25,
+                      "by_type": {"sleep_test": 4},
+                      "by_status": {"completed": 4}},
+        }}}
+        frame = render_dashboard(stats, slo)
+        assert "repro top" in frame
+        assert "up 2.1m" in frame
+        assert "completed=3 running=1" in frame
+        assert "alice" in frame
+        assert "88.89%" in frame
+        assert "!" in frame          # availability objective missed
+        assert "sleep_test=4" in frame
+
+    def test_render_dashboard_without_traffic(self):
+        frame = render_dashboard(
+            {"uptime_s": 5.0, "jobs": {}, "cache": {}},
+            {"tenants": {}},
+        )
+        assert "(no tenant traffic yet)" in frame
+        assert "jobs: none" in frame
+
+    def test_cli_top_once(self, handle, capsys):
+        from repro.cli import main
+
+        client = ServiceClient(handle.base_url, "alice-key",
+                               timeout=60)
+        client.run("sleep_test", {"seconds": 0.01})
+        assert main(["top", "--url", handle.base_url,
+                     "--key", "alice-key", "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "repro top" in output
+        assert "alice" in output
