@@ -143,21 +143,23 @@ def run_campaign(seed, budget, oracle_names=None, targets=None,
     entries (persisted when ``persist``)], "elapsed_s"}``.
     """
     slices = plan_campaign(budget, oracle_names, targets)
-    jobs = [
-        Job(
-            run_conformance,
-            {"oracle": name, "target": target, "cases": count,
-             "shrink_budget": shrink_budget},
-            seed=child,
-            label=f"conform:{name}:{target}",
-        )
-        for (name, target, count), child
-        in zip(slices, spawn_seeds(seed, len(slices)))
-    ]
+    eng = engine_or_default(engine)
     started = time.monotonic()
     with obs.span("conform.campaign", budget=budget,
                   slices=len(slices)):
-        results = engine_or_default(engine).run(jobs, stage="conformance")
+        nodes = [
+            eng.submit(Job(
+                run_conformance,
+                {"oracle": name, "target": target, "cases": count,
+                 "shrink_budget": shrink_budget},
+                seed=child,
+                label=f"conform:{name}:{target}",
+            ))
+            for (name, target, count), child
+            in zip(slices, spawn_seeds(seed, len(slices)))
+        ]
+        eng.run_graph(stage="conformance")
+        results = [node.result for node in nodes]
     divergences = []
     slice_summaries = []
     for result in results:

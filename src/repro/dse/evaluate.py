@@ -313,8 +313,9 @@ def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
     cached sweeps stay valid (both simulator paths are bit-identical,
     so the cached value is too).
     """
-    jobs = [
-        Job(
+    eng = engine_or_default(engine)
+    nodes = [
+        eng.submit(Job(
             evaluate_design_job,
             {"design": design, "transactions": transactions,
              "seed": seed, "bus_bits": bus_bits,
@@ -323,13 +324,13 @@ def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
              **({"fastpath": fastpath} if fastpath is not None else {})},
             label=f"dse:{design.name}"
                   + (f":bus{bus_bits}" if bus_bits else ""),
-        )
+        ))
         for design in designs
     ]
-    results = engine_or_default(engine).run(jobs, stage="dse")
+    eng.run_graph(stage="dse")
     return {
-        design.name: metrics
-        for design, metrics in zip(designs, results)
+        design.name: node.result
+        for design, node in zip(designs, nodes)
     }
 
 

@@ -26,9 +26,21 @@ legacy behavior) so nothing changes unless asked to::
 
 from repro.engine.cache import (  # noqa: F401
     CACHE_DIR_ENV,
+    CACHE_SHARDS_ENV,
     ResultCache,
+    ShardIndex,
     default_cache_dir,
     job_cache_key,
+)
+from repro.engine.executors import (  # noqa: F401
+    Executor,
+    ExecutorBroken,
+    executor_names,
+    make_executor,
+)
+from repro.engine.graph import (  # noqa: F401
+    GraphError,
+    JobNode,
 )
 from repro.engine.job import (  # noqa: F401
     ChildSeed,
@@ -52,16 +64,19 @@ from repro.engine.scheduler import (  # noqa: F401
     EngineJobError,
     cancel_all_engines,
     live_engines,
+    retry_delay_s,
 )
 
 __all__ = [
-    "CACHE_DIR_ENV", "ChildSeed", "Engine", "EngineCancelled",
-    "EngineJobError", "EngineMetrics", "Job", "ResultCache",
-    "as_child_seed", "cancel_all_engines", "configure",
+    "CACHE_DIR_ENV", "CACHE_SHARDS_ENV", "ChildSeed", "Engine",
+    "EngineCancelled", "EngineJobError", "EngineMetrics", "Executor",
+    "ExecutorBroken", "GraphError", "Job", "JobNode", "ResultCache",
+    "ShardIndex", "as_child_seed", "cancel_all_engines", "configure",
     "current_engine", "default_cache_dir", "engine_or_default",
-    "function_identity", "job_cache_key", "job_function",
-    "live_engines", "load_last_run", "progress_printer", "registered",
-    "reset", "spawn_seeds",
+    "executor_names", "function_identity", "job_cache_key",
+    "job_function", "live_engines", "load_last_run", "make_executor",
+    "progress_printer", "registered", "reset", "retry_delay_s",
+    "spawn_seeds",
 ]
 
 #: Process-wide default configuration.  Serial and cache-less by
@@ -74,6 +89,7 @@ _DEFAULTS = {
     "retries": 2,
     "backoff": 0.05,
     "hooks": None,
+    "executor": None,     # None/"local" | "steal" | "socket" | Executor
 }
 _config = dict(_DEFAULTS)
 _default_engine = None

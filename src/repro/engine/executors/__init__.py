@@ -1,0 +1,41 @@
+"""Pluggable execution backends for :class:`repro.engine.Engine`.
+
+Three backends ship in-tree, all implementing the same small
+:class:`~repro.engine.executors.base.Executor` contract:
+
+=========  =========================================  =================
+spec       class                                      good for
+=========  =========================================  =================
+``local``  :class:`~.local.LocalPoolExecutor`         one host
+                                                      (the default)
+``steal``  :class:`~.stealing.WorkStealingExecutor`   skewed job costs
+``socket`` :class:`~.socketcluster.                   many hosts via
+           SocketClusterExecutor`                     ``repro worker
+                                                      join``
+=========  =========================================  =================
+
+Select one with ``Engine(executor="steal")``,
+``engine.configure(executor="socket")``, or ``--executor`` on the CLI.
+"""
+
+from repro.engine.executors.base import (  # noqa: F401
+    Executor,
+    ExecutorBroken,
+    execute_payload,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.engine.executors.local import LocalPoolExecutor  # noqa: F401
+from repro.engine.executors.socketcluster import (  # noqa: F401
+    SocketClusterExecutor,
+)
+from repro.engine.executors.stealing import (  # noqa: F401
+    WorkStealingExecutor,
+)
+
+__all__ = [
+    "Executor", "ExecutorBroken", "LocalPoolExecutor",
+    "SocketClusterExecutor", "WorkStealingExecutor", "execute_payload",
+    "executor_names", "make_executor", "register_executor",
+]

@@ -1,0 +1,254 @@
+"""Work-stealing backend for skewed job costs.
+
+A fixed crew of worker processes, each fed over its own pipe with one
+task in flight at a time.  The parent keeps a deque per worker; tasks
+are dealt round-robin, and when a worker goes idle with an empty deque
+it *steals half* of the longest backlog.  Long-tailed workloads (fault
+campaigns where one wafer draws the pathological die) finish earlier
+because idle workers drain the laggard's queue instead of barriering
+on it.
+
+A worker that dies mid-task gets its task requeued exactly once; a
+second loss converts the task's jobs to ``err`` outcomes (the
+scheduler then retries them serially under the normal retry budget).
+"""
+
+import multiprocessing
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+
+from repro.engine.executors.base import (
+    Executor,
+    ExecutorBroken,
+    execute_payload,
+    register_executor,
+)
+
+
+def _steal_worker_main(conn):
+    """Child process loop: one task at a time over the pipe."""
+    # The fork inherits whatever cooperative signal handlers the parent
+    # installed (repro.engine.signals); those swallow the SIGTERM that
+    # multiprocessing sends daemon children at interpreter exit, which
+    # would leave the parent's final join() hanging.  Workers take the
+    # default behavior: die on TERM, let the loop's except catch INT.
+    import signal as signal_module
+
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        try:
+            signal_module.signal(signum, signal_module.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, task_id, payload, obs_ctx = message
+            outcomes, obs_payload = execute_payload(payload, obs_ctx)
+            conn.send((task_id, outcomes, obs_payload))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+
+
+class _Task:
+    __slots__ = ("task_id", "payload", "obs_ctx")
+
+    def __init__(self, task_id, payload, obs_ctx):
+        self.task_id = task_id
+        self.payload = payload
+        self.obs_ctx = obs_ctx
+
+
+class WorkStealingExecutor(Executor):
+    """Per-worker deques with steal-half rebalancing."""
+
+    name = "steal"
+
+    def __init__(self, workers=2, pool_factory=None):
+        # pool_factory is accepted (and ignored) so every backend can
+        # be built from the same engine options.
+        self._workers = max(1, int(workers))
+        self._procs = []
+        self._conns = []
+        self._alive = []
+        self._deques = []
+        self._inflight = []      # per worker: _Task | None
+        self._results = deque()
+        self._deal = 0
+        self._requeued = set()   # task ids already requeued once
+        self.steals = 0
+        self.requeues = 0
+
+    @property
+    def workers(self):
+        return self._workers
+
+    def preferred_chunk_size(self, njobs, workers):
+        # Fine-grained tasks are the whole point: stealing cannot
+        # rebalance work hidden inside a large chunk.
+        return 1
+
+    def start(self):
+        if self._procs:
+            return
+        ctx = multiprocessing.get_context()
+        for _ in range(self._workers):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_steal_worker_main, args=(child_end,), daemon=True
+            )
+            proc.start()
+            child_end.close()
+            self._procs.append(proc)
+            self._conns.append(parent_end)
+            self._alive.append(True)
+            self._deques.append(deque())
+            self._inflight.append(None)
+
+    def submit(self, task_id, payload, obs_ctx=None):
+        self.start()
+        if not any(self._alive):
+            raise ExecutorBroken("all stealing workers died",
+                                 lost=[task_id])
+        slot = self._deal % self._workers
+        self._deal += 1
+        if not self._alive[slot]:
+            slot = next(i for i, up in enumerate(self._alive) if up)
+        self._deques[slot].append(_Task(task_id, payload, obs_ctx))
+        self._dispatch()
+
+    def _dispatch(self):
+        for index in range(self._workers):
+            if not self._alive[index] or self._inflight[index] is not None:
+                continue
+            task = self._take_for(index)
+            if task is None:
+                continue
+            try:
+                self._conns[index].send(
+                    ("job", task.task_id, task.payload, task.obs_ctx)
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                self._worker_died(index, pending_task=task)
+                continue
+            self._inflight[index] = task
+
+    def _take_for(self, index):
+        """The worker's own queue first, else steal half the longest."""
+        own = self._deques[index]
+        if own:
+            return own.popleft()
+        victim = max(
+            (i for i in range(self._workers) if i != index),
+            key=lambda i: len(self._deques[i]),
+            default=None,
+        )
+        if victim is None or not self._deques[victim]:
+            return None
+        take = (len(self._deques[victim]) + 1) // 2
+        # Steal from the back (newest) end, classic thief protocol:
+        # the victim keeps working the front of its own queue.
+        for _ in range(take):
+            own.appendleft(self._deques[victim].pop())
+        self.steals += 1
+        return own.popleft()
+
+    def next_result(self, timeout):
+        if self._results:
+            return self._results.popleft()
+        watch = [self._conns[i] for i in range(self._workers)
+                 if self._alive[i] and self._inflight[i] is not None]
+        if not watch:
+            if any(task for task in self._inflight) or \
+                    any(self._deques):
+                self._dispatch()
+                if not any(self._alive):
+                    raise ExecutorBroken(
+                        "all stealing workers died",
+                        lost=self._drain_lost(),
+                    )
+            return self._results.popleft() if self._results else None
+        for conn in connection_wait(watch, timeout=timeout):
+            index = self._conns.index(conn)
+            try:
+                task_id, outcomes, obs_payload = conn.recv()
+            except (EOFError, OSError):
+                self._worker_died(index)
+                continue
+            self._inflight[index] = None
+            self._results.append((task_id, outcomes, obs_payload))
+        self._dispatch()
+        return self._results.popleft() if self._results else None
+
+    def _worker_died(self, index, pending_task=None):
+        """Requeue the dead worker's task once; twice lost is an err."""
+        self._alive[index] = False
+        try:
+            self._conns[index].close()
+        except OSError:
+            pass
+        task = pending_task or self._inflight[index]
+        self._inflight[index] = None
+        # Strand the dead worker's backlog onto a survivor.
+        backlog = self._deques[index]
+        if any(self._alive):
+            refuge = next(i for i, up in enumerate(self._alive) if up)
+            while backlog:
+                self._deques[refuge].append(backlog.popleft())
+        if task is None:
+            return
+        if task.task_id in self._requeued or not any(self._alive):
+            self._results.append((
+                task.task_id,
+                [("err", "worker process died while running job", "")
+                 for _ in task.payload],
+                None,
+            ))
+            return
+        self._requeued.add(task.task_id)
+        self.requeues += 1
+        refuge = next(i for i, up in enumerate(self._alive) if up)
+        self._deques[refuge].appendleft(task)
+
+    def _drain_lost(self):
+        lost = [task.task_id for task in self._inflight
+                if task is not None]
+        for backlog in self._deques:
+            lost.extend(task.task_id for task in backlog)
+            backlog.clear()
+        self._inflight = [None] * self._workers
+        return lost
+
+    def shutdown(self):
+        for index, conn in enumerate(self._conns):
+            if self._alive[index]:
+                try:
+                    conn.send(("stop",))
+                except OSError:
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+        self._procs = []
+        self._conns = []
+        self._alive = []
+        self._deques = []
+        self._inflight = []
+
+    def describe(self):
+        return {
+            "executor": self.name,
+            "workers": self._workers,
+            "alive": sum(1 for up in self._alive if up),
+            "steals": self.steals,
+            "requeues": self.requeues,
+        }
+
+
+register_executor("steal", WorkStealingExecutor)

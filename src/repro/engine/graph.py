@@ -1,0 +1,147 @@
+"""The dependency-graph layer: jobs wired by ``deps``, run streaming.
+
+``Engine.submit(job, deps=...)`` returns a :class:`JobNode`;
+``Engine.run_graph()`` topologically streams nodes whose dependencies
+have finished straight into the executor, so independent branches
+overlap instead of barriering stage-by-stage.
+
+Dependencies come in two flavors:
+
+- *ordering-only*: ``deps=[node_a, node_b]`` -- the job runs after
+  them but does not consume their results.  Because the job's output
+  is already fully determined by its own ``(fn, params, seed)``, these
+  do **not** widen the node's cache key.
+- *result-injection*: ``deps={"per_wafer": [node_a, node_b]}`` -- the
+  dependency results are injected into ``params`` under the given name
+  at dispatch time (a single node injects the bare result, a list of
+  nodes injects a list).  These *do* widen the cache key: the node's
+  digest covers its own job key plus every injected dependency's key,
+  so a graph node is content-addressed through its whole ancestry.
+
+Failure semantics: a node that exhausts its retry budget is marked
+``failed`` and every transitive dependent is marked ``cancelled``
+*without running*; unrelated branches keep going, and the first
+failure is raised once the graph has drained.
+"""
+
+import hashlib
+import json
+
+#: Node lifecycle states.
+PENDING = "pending"
+DISPATCHED = "dispatched"
+DONE = "done"
+CACHED = "cached"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+class GraphError(ValueError):
+    """A malformed graph (bad deps, unsubmitted dependency node)."""
+
+
+class JobNode:
+    """One submitted job plus its place in the dependency graph."""
+
+    __slots__ = ("index", "job", "deps", "key", "status", "result",
+                 "error", "dependents", "waiting")
+
+    def __init__(self, index, job, deps):
+        self.index = index
+        self.job = job
+        self.deps = deps          # [(param_name | None, node | [node])]
+        self.key = None           # content address (set by the engine)
+        self.status = PENDING
+        self.result = None
+        self.error = None         # EngineJobError | str (cancel reason)
+        self.dependents = []
+        self.waiting = set()      # dep nodes not yet finished
+
+    def dep_nodes(self):
+        """Every distinct dependency node, injection or ordering."""
+        seen = []
+        for _name, dep in self.deps:
+            for node in (dep if isinstance(dep, list) else [dep]):
+                if node not in seen:
+                    seen.append(node)
+        return seen
+
+    @property
+    def done(self):
+        return self.status in (DONE, CACHED)
+
+    def __repr__(self):
+        return (f"JobNode({self.index}, {self.job.label!r}, "
+                f"{self.status})")
+
+
+def normalize_deps(deps):
+    """Coerce the ``deps`` argument into ``[(name | None, node|list)]``.
+
+    Accepts ``None``, an iterable of nodes (ordering-only), or a
+    mapping of ``param name -> node | [nodes]`` (result-injection).
+    """
+    if deps is None:
+        return []
+    normalized = []
+    if hasattr(deps, "items"):
+        for name, dep in sorted(deps.items()):
+            _require_nodes(dep)
+            normalized.append(
+                (name, list(dep) if isinstance(dep, (list, tuple))
+                 else dep)
+            )
+        return normalized
+    deps = list(deps)
+    _require_nodes(deps)
+    return [(None, node) for node in deps]
+
+
+def _require_nodes(dep):
+    nodes = dep if isinstance(dep, (list, tuple)) else [dep]
+    for node in nodes:
+        if not isinstance(node, JobNode):
+            raise GraphError(
+                f"graph deps must be JobNode handles from "
+                f"Engine.submit, got {type(node).__name__}"
+            )
+
+
+def node_cache_key(base_key, deps):
+    """The node's content address: its own job key widened by every
+    *injected* dependency's key (ordering-only deps don't affect the
+    result, so they don't affect the address)."""
+    if base_key is None:
+        return None
+    injected = {}
+    for name, dep in deps:
+        if name is None:
+            continue
+        if isinstance(dep, list):
+            keys = [node.key for node in dep]
+        else:
+            keys = dep.key
+        flat = keys if isinstance(keys, list) else [keys]
+        if any(k is None for k in flat):
+            return None  # an unkeyable ancestor poisons the address
+        injected[name] = keys
+    if not injected:
+        return base_key
+    document = {"base": base_key, "deps": injected}
+    payload = json.dumps(document, sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def effective_params(node):
+    """The params the node's job actually runs with: declared params
+    plus injected dependency results."""
+    params = dict(node.job.params)
+    for name, dep in node.deps:
+        if name is None:
+            continue
+        if isinstance(dep, list):
+            params[name] = [d.result for d in dep]
+        else:
+            params[name] = dep.result
+    return params

@@ -1,32 +1,66 @@
 """The experiment scheduler: fan jobs out, survive failures, stay exact.
 
+Since the pluggable-executor refactor the scheduler is one of three
+layers:
+
+- **this module** decides *what* runs and in *which order* -- flat
+  batches through :meth:`Engine.run`, dependency graphs through
+  :meth:`Engine.submit` + :meth:`Engine.run_graph`;
+- an :mod:`executor <repro.engine.executors>` decides *where* --
+  ``local`` (process pool, the default), ``steal`` (work-stealing
+  deques for skewed costs), or ``socket`` (a coordinator that
+  ``repro worker join`` workers attach to);
+- the :class:`~repro.engine.cache.ResultCache` remembers results by
+  content address, now sharded with a shared index tier.
+
 Execution strategy for one :meth:`Engine.run`:
 
 1. every job is first looked up in the result cache (when enabled);
-2. misses run either inline (``jobs <= 1``) or on a
-   :class:`concurrent.futures.ProcessPoolExecutor`, chunked to amortize
-   IPC, with an optional per-job timeout;
+2. misses run either inline (``jobs <= 1``) or on the executor,
+   chunked to amortize IPC, with an optional per-job timeout;
 3. a job that raises inside a worker is retried *serially* with
-   exponential backoff (bounded by ``retries``);
-4. a broken pool or a timeout degrades the whole run to serial for the
+   exponential backoff plus deterministic-seeded jitter (bounded by
+   ``retries``);
+4. a broken executor or a timeout degrades the run to serial for the
    remaining jobs rather than failing it.
+
+:meth:`Engine.run_graph` streams nodes whose dependencies have
+finished straight into the executor, so independent branches overlap;
+a node that exhausts its retries marks every transitive dependent
+``cancelled`` without running it, and unrelated branches continue.
 
 Because every job carries its own :class:`~repro.engine.job.ChildSeed`
 and results are reassembled in submission order, none of the above
 changes a single bit of the output.
 """
 
+import hashlib
+import json
 import threading
 import time
-import traceback
 import weakref
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
-from math import ceil
+from collections import deque
 
 from repro import obs
 from repro.engine.cache import ResultCache, job_cache_key
+from repro.engine.executors.base import (
+    ExecutorBroken,
+    execute_payload,
+    make_executor,
+)
+from repro.engine.graph import (
+    CACHED,
+    CANCELLED,
+    DISPATCHED,
+    DONE,
+    FAILED,
+    PENDING,
+    GraphError,
+    JobNode,
+    effective_params,
+    node_cache_key,
+    normalize_deps,
+)
 from repro.engine.job import Job
 from repro.engine.metrics import (
     EngineMetrics,
@@ -34,6 +68,10 @@ from repro.engine.metrics import (
     StageMetrics,
     persist_last_run,
 )
+
+#: Back-compat alias: the worker-side entry point moved to
+#: :mod:`repro.engine.executors.base`.
+_execute_chunk = execute_payload
 
 
 class EngineJobError(RuntimeError):
@@ -71,44 +109,32 @@ def cancel_all_engines():
     a repeated interrupt can escalate instead of being swallowed)."""
     cancelled = 0
     for engine in live_engines():
-        if engine.cancel():
+        # Only engines actually mid-run: an idle engine (or a forked
+        # child's copy of one) must not absorb the signal -- the
+        # handler falls through to the default behavior instead.
+        if engine.running and engine.cancel():
             cancelled += 1
     return cancelled
 
 
-def _execute_chunk(payloads, obs_ctx=None):
-    """Worker-side entry point: run a chunk of (fn, params, seed, label).
+def retry_delay_s(job, attempt, backoff):
+    """Exponential backoff with deterministic-seeded jitter.
 
-    Exceptions are flattened to strings here -- a raw exception object
-    may itself fail to pickle on the way back, which would take the
-    whole pool down instead of one job.
-
-    ``obs_ctx`` carries the parent's observability context
-    (:func:`repro.obs.worker_context`); when present, each job runs
-    under its own span and the worker's recorded spans and metric
-    deltas travel back with the results.
+    ``backoff * 2**(attempt-1)`` scaled into ``[0.75, 1.25)`` by a
+    hash of the job's identity and the attempt number, so a crowd of
+    parallel workers retrying the same stage desynchronizes instead of
+    stampeding the cache/index in lockstep -- while any single job's
+    retry schedule stays bit-for-bit reproducible.
     """
-    if obs_ctx is not None:
-        obs.enter_worker(obs_ctx)
-    results = []
-    for fn, params, seed, label in payloads:
-        started = time.perf_counter()
-        try:
-            with obs.span("engine.job", label=label, where="pool"):
-                value = fn(params, seed)
-        except Exception as exc:
-            results.append((
-                "err",
-                f"{type(exc).__name__}: {exc}",
-                traceback.format_exc(),
-            ))
-        else:
-            results.append(("ok", value, time.perf_counter() - started))
-    return results, (obs.leave_worker() if obs_ctx is not None else None)
-
-
-def _default_pool_factory(workers):
-    return ProcessPoolExecutor(max_workers=workers)
+    base = backoff * (2 ** (attempt - 1))
+    basis = json.dumps([
+        job.label,
+        job.seed.token() if job.seed is not None else None,
+        attempt,
+    ], sort_keys=True)
+    digest = hashlib.sha256(basis.encode("utf-8")).digest()
+    jitter01 = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base * (0.75 + 0.5 * jitter01)
 
 
 class Engine:
@@ -117,7 +143,7 @@ class Engine:
     Parameters
     ----------
     jobs:
-        Worker-process count; ``<= 1`` runs everything inline.
+        Worker count; ``<= 1`` runs everything inline.
     cache:
         ``None`` (disabled), ``True`` (default directory), a path, or a
         ready :class:`~repro.engine.cache.ResultCache`.
@@ -126,16 +152,23 @@ class Engine:
         results (a timed-out chunk degrades the run to serial).
     retries / backoff:
         Failed jobs are re-run up to ``retries`` more times, sleeping
-        ``backoff * 2**attempt`` seconds between attempts.
+        ``backoff * 2**attempt`` seconds (with deterministic jitter)
+        between attempts.
     chunk_size:
-        Jobs per worker submission; defaults to ``n / (4 * workers)``.
+        Jobs per worker submission; defaults to the executor's
+        preference (``n / (4 * workers)`` for the local pool, ``1``
+        for stealing/socket backends).
     hooks:
         Iterable of ``hook(event, payload)`` progress callbacks.
+    executor:
+        Backend spec: ``None``/``"local"`` (process pool),
+        ``"steal"``, ``"socket"``, or a ready
+        :class:`~repro.engine.executors.base.Executor` instance.
     """
 
     def __init__(self, jobs=1, cache=None, timeout=None, retries=2,
                  backoff=0.05, chunk_size=None, hooks=None,
-                 pool_factory=None):
+                 pool_factory=None, executor=None):
         self.jobs = max(1, int(jobs))
         if cache is True:
             cache = ResultCache()
@@ -148,11 +181,70 @@ class Engine:
         self.chunk_size = chunk_size
         self.hooks = HookSet(hooks)
         self.hooks.add(obs.engine_bridge())
-        self.metrics = EngineMetrics(workers=self.jobs)
-        self._pool_factory = pool_factory or _default_pool_factory
+        self._pool_factory = pool_factory
+        self._executor_spec = executor
+        self._executor = None
+        self.metrics = EngineMetrics(
+            workers=self.jobs, executor=self.executor_name,
+        )
         self._cancel = threading.Event()
         self._running = False
+        self._run_seq = 0
+        self._graph = []
+        self._graph_seq = 0
         _LIVE_ENGINES.add(self)
+
+    # -- executor plumbing --------------------------------------------
+
+    @property
+    def executor_name(self):
+        """The configured backend's spec name (without starting it)."""
+        spec = self._executor_spec
+        name = getattr(spec, "name", None)
+        if name is not None:
+            return name
+        return spec or "local"
+
+    @property
+    def executor(self):
+        """The live executor instance, or ``None`` before first use."""
+        return self._executor
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = make_executor(
+                self._executor_spec,
+                workers=self.jobs,
+                pool_factory=self._pool_factory,
+            )
+            # A cluster coordinator answers workers' cache_get probes
+            # from the engine's own cache tier; wire it in when the
+            # backend has a cache slot it didn't fill itself.
+            if (getattr(self._executor, "cache", False) is None
+                    and self.cache is not None):
+                self._executor.cache = self.cache
+        self._executor.start()
+        self.metrics.executor = self._executor.name
+        return self._executor
+
+    def close(self):
+        """Shut down the executor (workers, sockets); idempotent."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def describe_executor(self):
+        """Stats snapshot of the backend for ``repro engine stats``."""
+        if self._executor is not None:
+            return self._executor.describe()
+        return {"executor": self.executor_name, "workers": self.jobs}
 
     # -- public API ----------------------------------------------------
 
@@ -204,7 +296,7 @@ class Engine:
                 pending = []
                 keys = [None] * len(jobs)
                 for index, job in enumerate(jobs):
-                    if self.cache is not None:
+                    if self.cache is not None and job.cached:
                         keys[index] = job_cache_key(job)
                         hit, value = self.cache.get(
                             _fn_name(job), keys[index]
@@ -224,12 +316,17 @@ class Engine:
                     pending.append(index)
 
                 if pending:
-                    if self.jobs <= 1 or len(pending) == 1:
+                    # A non-local backend is worth engaging even at
+                    # jobs=1 (its workers live elsewhere); the local
+                    # pool is not.
+                    if ((self.jobs <= 1
+                         and self.executor_name == "local")
+                            or len(pending) == 1):
                         self._run_serial(jobs, pending, results)
                     else:
-                        self._run_parallel(jobs, pending, results)
+                        self._run_parallel(jobs, pending, results, keys)
                     for index in pending:
-                        if self.cache is not None:
+                        if self.cache is not None and jobs[index].cached:
                             self.cache.put(
                                 _fn_name(jobs[index]), keys[index],
                                 results[index], meta={
@@ -257,17 +354,284 @@ class Engine:
             # cache for backward compatibility with cache-rooted
             # readers.
             self._running = False
+            if self._cancel.is_set():
+                # A cancelled executor may hold arbitrarily stale
+                # work; drop it so the next run starts clean.
+                self.close()
             stage_metrics.wall_s = time.perf_counter() - started
             self.metrics.wall_s += stage_metrics.wall_s
             self.metrics.stages.append(stage_metrics)
             persist_last_run(
                 self.metrics,
                 self.cache.root if self.cache is not None else None,
+                executor=self.describe_executor(),
             )
         return results
 
     def run_one(self, job):
         return self.run([job], stage=job.label)[0]
+
+    # -- graph API -----------------------------------------------------
+
+    def submit(self, job, deps=None):
+        """Add one job to the pending graph; returns its
+        :class:`~repro.engine.graph.JobNode` handle.
+
+        ``deps`` is an iterable of nodes (ordering-only) or a mapping
+        of ``param name -> node | [nodes]`` whose results are injected
+        into ``params`` at dispatch time.  The next
+        :meth:`run_graph` call runs everything submitted since the
+        last one.
+        """
+        job = job if isinstance(job, Job) else Job(*job)
+        node = JobNode(self._graph_seq, job, normalize_deps(deps))
+        self._graph_seq += 1
+        for dep in node.dep_nodes():
+            if dep.status in (FAILED, CANCELLED):
+                raise GraphError(
+                    f"dependency {dep.job.label!r} already "
+                    f"{dep.status}; cannot submit {job.label!r}"
+                )
+        try:
+            base_key = job_cache_key(job)
+        except TypeError:
+            base_key = None
+        node.key = node_cache_key(base_key, node.deps)
+        self._graph.append(node)
+        return node
+
+    def run_graph(self, stage="graph", raise_on_error=True):
+        """Run every node submitted since the last graph run.
+
+        Nodes stream into the executor as their dependencies finish,
+        so independent branches overlap.  Returns results in
+        submission order (``None`` for failed/cancelled nodes).  With
+        ``raise_on_error`` (default) the first
+        :class:`EngineJobError` is raised *after* the graph has
+        drained -- inspect the returned node handles for per-branch
+        status when catching it.
+        """
+        nodes, self._graph = self._graph, []
+        if not nodes:
+            return []
+        started = time.perf_counter()
+        stage_metrics = StageMetrics(stage=stage, jobs=len(nodes))
+        self.metrics.jobs_submitted += len(nodes)
+        self._check_cancelled()
+        self._running = True
+
+        ready = deque()
+        queued = set()
+        failures = []
+
+        def push_ready(node):
+            if (node.index not in queued and node.status == PENDING
+                    and not node.waiting):
+                queued.add(node.index)
+                ready.append(node)
+
+        def resolve(node, value, *, where, attempts, elapsed,
+                    cached=False, announced=False):
+            node.result = value
+            node.status = DONE
+            if cached:
+                node.status = CACHED
+                self.metrics.cache_hits += 1
+                stage_metrics.cache_hits += 1
+            else:
+                stage_metrics.computed += 1
+                if (self.cache is not None and node.job.cached
+                        and node.key is not None):
+                    self.cache.put(
+                        _fn_name(node.job), node.key, value, meta={
+                            "label": node.job.label,
+                            "seed": (node.job.seed.token()
+                                     if node.job.seed else None),
+                            "graph": True,
+                        },
+                    )
+            if not announced:
+                self.metrics.jobs_completed += 1
+                self.hooks.emit("job_done", {
+                    "label": node.job.label, "fn": _fn_name(node.job),
+                    "status": "cached" if cached else "completed",
+                    "attempts": attempts, "elapsed_s": elapsed,
+                    "where": where,
+                })
+            for dependent in node.dependents:
+                dependent.waiting.discard(node)
+                push_ready(dependent)
+
+        def fail(node, error):
+            node.status = FAILED
+            node.error = error
+            failures.append(error)
+            stack = list(node.dependents)
+            while stack:
+                dependent = stack.pop()
+                if dependent.status != PENDING:
+                    continue
+                dependent.status = CANCELLED
+                dependent.error = (
+                    f"upstream job {node.job.label!r} failed"
+                )
+                self.metrics.cancelled += 1
+                self.hooks.emit("job_done", {
+                    "label": dependent.job.label,
+                    "fn": _fn_name(dependent.job),
+                    "status": "cancelled", "attempts": 0,
+                    "elapsed_s": 0.0, "where": "graph",
+                })
+                stack.extend(dependent.dependents)
+
+        def run_serial_node(node, attempts_used=0):
+            try:
+                value = self._attempt_until_done(
+                    self._effective_job(node), attempts_used
+                )
+            except EngineJobError as err:
+                fail(node, err)
+            else:
+                resolve(node, value, where="serial",
+                        attempts=attempts_used + 1, elapsed=0.0,
+                        announced=True)
+
+        try:
+            with obs.span(f"engine.{stage}", jobs=len(nodes),
+                          graph=True):
+                for node in nodes:
+                    for dep in node.dep_nodes():
+                        if dep.status in (FAILED, CANCELLED):
+                            raise GraphError(
+                                f"dependency {dep.job.label!r} is "
+                                f"{dep.status}"
+                            )
+                        if not dep.done:
+                            node.waiting.add(dep)
+                            dep.dependents.append(node)
+
+                for node in nodes:
+                    if (self.cache is not None and node.job.cached
+                            and node.key is not None):
+                        hit, value = self.cache.get(
+                            _fn_name(node.job), node.key
+                        )
+                        if hit:
+                            resolve(node, value, where="cache",
+                                    attempts=0, elapsed=0.0,
+                                    cached=True)
+                            continue
+                        self.metrics.cache_misses += 1
+                for node in nodes:
+                    push_ready(node)
+
+                self._drive_graph(ready, resolve, fail,
+                                  run_serial_node)
+
+                self.hooks.emit("stage_done", {
+                    "stage": stage, "jobs": len(nodes),
+                    "cache_hits": stage_metrics.cache_hits,
+                    "wall_s": time.perf_counter() - started,
+                })
+        finally:
+            self._running = False
+            if self._cancel.is_set():
+                self.close()
+            stage_metrics.wall_s = time.perf_counter() - started
+            self.metrics.wall_s += stage_metrics.wall_s
+            self.metrics.stages.append(stage_metrics)
+            persist_last_run(
+                self.metrics,
+                self.cache.root if self.cache is not None else None,
+                executor=self.describe_executor(),
+            )
+        if failures and raise_on_error:
+            raise failures[0]
+        return [node.result for node in nodes]
+
+    def _effective_job(self, node):
+        """The node's job with dependency results injected."""
+        job = node.job
+        return Job(job.fn, effective_params(node), job.seed,
+                   job.label, node.key, cached=job.cached)
+
+    def _drive_graph(self, ready, resolve, fail, run_serial_node):
+        use_parallel = self.jobs > 1 or self.executor_name != "local"
+        executor = None
+        if use_parallel:
+            try:
+                executor = self._ensure_executor()
+            except Exception as exc:
+                self._degrade(f"could not start executor: {exc}")
+                use_parallel = False
+        obs_ctx = obs.worker_context() if use_parallel else None
+        self._run_seq += 1
+        prefix = f"g{self._run_seq}"
+        outstanding = {}
+        deadlines = {}
+
+        def dispatch(node):
+            job = node.job
+            entry = (
+                job.fn, effective_params(node), job.seed, job.label,
+                node.key if job.cached else None,
+            )
+            task_id = f"{prefix}:{node.index}"
+            executor.submit(task_id, [entry], obs_ctx)
+            node.status = DISPATCHED
+            outstanding[task_id] = node
+            if self.timeout:
+                deadlines[task_id] = time.monotonic() + self.timeout
+
+        while ready or outstanding:
+            self._check_cancelled()
+            if not use_parallel:
+                run_serial_node(ready.popleft())
+                continue
+            broken = None
+            while ready and broken is None:
+                node = ready.popleft()
+                try:
+                    dispatch(node)
+                except ExecutorBroken as exc:
+                    node.status = PENDING
+                    ready.appendleft(node)
+                    broken = exc
+            if outstanding and broken is None:
+                try:
+                    item = executor.next_result(_CANCEL_POLL_S)
+                except ExecutorBroken as exc:
+                    broken = exc
+                    item = None
+                now = time.monotonic()
+                if broken is None and deadlines and any(
+                    deadline < now for deadline in deadlines.values()
+                ):
+                    broken = ExecutorBroken(
+                        "timeout waiting on graph node(s)"
+                    )
+                if item is not None:
+                    task_id, outcomes, obs_payload = item
+                    node = outstanding.pop(task_id, None)
+                    if node is not None:
+                        deadlines.pop(task_id, None)
+                        obs.absorb(obs_payload)
+                        outcome = outcomes[0]
+                        if outcome[0] == "ok":
+                            resolve(node, outcome[1], where="pool",
+                                    attempts=1, elapsed=outcome[2])
+                        else:
+                            self.metrics.worker_failures += 1
+                            run_serial_node(node, attempts_used=1)
+            if broken is not None:
+                self.metrics.worker_failures += 1
+                self._degrade(str(broken))
+                use_parallel = False
+                for node in outstanding.values():
+                    node.status = PENDING
+                    ready.append(node)
+                outstanding.clear()
+                deadlines.clear()
 
     # -- serial path ---------------------------------------------------
 
@@ -293,7 +657,7 @@ class Engine:
                 last_error = f"{type(exc).__name__}: {exc}"
                 if attempt <= self.retries:
                     self.metrics.retries += 1
-                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                    time.sleep(retry_delay_s(job, attempt, self.backoff))
                 continue
             self.metrics.jobs_completed += 1
             self.hooks.emit("job_done", {
@@ -321,76 +685,95 @@ class Engine:
 
     # -- parallel path -------------------------------------------------
 
-    def _run_parallel(self, jobs, indices, results):
-        workers = min(self.jobs, len(indices))
-        chunk_size = self.chunk_size or max(
-            1, ceil(len(indices) / (workers * 4))
+    def _run_parallel(self, jobs, indices, results, keys):
+        try:
+            executor = self._ensure_executor()
+        except Exception as exc:
+            self._degrade(f"could not start executor: {exc}")
+            self._run_serial(jobs, indices, results)
+            return
+
+        workers = max(1, executor.workers or self.jobs)
+        chunk_size = self.chunk_size or executor.preferred_chunk_size(
+            len(indices), min(workers, len(indices))
         )
         chunks = [
             indices[start:start + chunk_size]
             for start in range(0, len(indices), chunk_size)
         ]
         retry_serial = []   # indices that failed once in a worker
-        leftover = []       # indices never run because the pool died
-
-        try:
-            executor = self._pool_factory(workers)
-        except Exception as exc:
-            self._degrade(f"could not start worker pool: {exc}")
-            self._run_serial(jobs, indices, results)
-            return
+        leftover = []       # indices never run because workers died
 
         obs_ctx = obs.worker_context()
-        try:
-            futures = []
-            for chunk in chunks:
-                payload = [
-                    (jobs[i].fn, dict(jobs[i].params), jobs[i].seed,
-                     jobs[i].label)
-                    for i in chunk
-                ]
-                submit_args = (payload, obs_ctx) if obs_ctx is not None \
-                    else (payload,)
-                futures.append((chunk, executor.submit(
-                    _execute_chunk, *submit_args
-                )))
-            broken = False
-            for position, (chunk, future) in enumerate(futures):
-                if broken:
-                    leftover.extend(chunk)
-                    continue
-                chunk_timeout = (self.timeout * len(chunk)
-                                 if self.timeout else None)
-                try:
-                    outcomes, obs_payload = self._await_future(
-                        future, chunk_timeout
-                    )
-                    obs.absorb(obs_payload)
-                except (BrokenProcessPool, FutureTimeoutError,
-                        OSError) as exc:
+        self._run_seq += 1
+        prefix = f"r{self._run_seq}"
+        outstanding = {}
+        deadlines = {}
+        for position, chunk in enumerate(chunks):
+            payload = [
+                self._payload_entry(jobs[i], keys[i], executor)
+                for i in chunk
+            ]
+            task_id = f"{prefix}:{position}"
+            try:
+                executor.submit(task_id, payload, obs_ctx)
+            except ExecutorBroken as exc:
+                self.metrics.worker_failures += 1
+                self._degrade(str(exc))
+                leftover.extend(chunk)
+                for later in chunks[position + 1:]:
+                    leftover.extend(later)
+                break
+            outstanding[task_id] = chunk
+            if self.timeout:
+                deadlines[task_id] = (
+                    time.monotonic() + self.timeout * len(chunk)
+                )
+
+        while outstanding:
+            self._check_cancelled()
+            try:
+                item = executor.next_result(_CANCEL_POLL_S)
+            except ExecutorBroken as exc:
+                self.metrics.worker_failures += 1
+                self._degrade(str(exc))
+                for task_id in list(outstanding):
+                    leftover.extend(outstanding.pop(task_id))
+                break
+            now = time.monotonic()
+            expired = [
+                task_id for task_id, deadline in deadlines.items()
+                if task_id in outstanding and deadline < now
+            ]
+            if expired:
+                self.metrics.worker_failures += 1
+                self._degrade(
+                    f"timeout waiting on {len(expired)} chunk(s)"
+                )
+                for task_id in list(outstanding):
+                    leftover.extend(outstanding.pop(task_id))
+                break
+            if item is None:
+                continue
+            task_id, outcomes, obs_payload = item
+            chunk = outstanding.pop(task_id, None)
+            if chunk is None:
+                continue  # stale result from an abandoned run
+            deadlines.pop(task_id, None)
+            obs.absorb(obs_payload)
+            for index, outcome in zip(chunk, outcomes):
+                if outcome[0] == "ok":
+                    results[index] = outcome[1]
+                    self.metrics.jobs_completed += 1
+                    self.hooks.emit("job_done", {
+                        "label": jobs[index].label,
+                        "fn": _fn_name(jobs[index]),
+                        "status": "completed", "attempts": 1,
+                        "elapsed_s": outcome[2], "where": "pool",
+                    })
+                else:
                     self.metrics.worker_failures += 1
-                    self._degrade(
-                        f"{type(exc).__name__} while waiting on "
-                        f"chunk of {len(chunk)} job(s)"
-                    )
-                    leftover.extend(chunk)
-                    broken = True
-                    continue
-                for index, outcome in zip(chunk, outcomes):
-                    if outcome[0] == "ok":
-                        results[index] = outcome[1]
-                        self.metrics.jobs_completed += 1
-                        self.hooks.emit("job_done", {
-                            "label": jobs[index].label,
-                            "fn": _fn_name(jobs[index]),
-                            "status": "completed", "attempts": 1,
-                            "elapsed_s": outcome[2], "where": "pool",
-                        })
-                    else:
-                        self.metrics.worker_failures += 1
-                        retry_serial.append(index)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+                    retry_serial.append(index)
 
         if leftover:
             self._run_serial(jobs, leftover, results)
@@ -399,24 +782,13 @@ class Engine:
             self._run_serial(jobs, retry_serial, results,
                              attempts_used=1)
 
-    def _await_future(self, future, chunk_timeout):
-        """``future.result`` in short slices so a :meth:`cancel` from
-        another thread (or a signal handler) interrupts the wait within
-        ``_CANCEL_POLL_S`` instead of after the whole chunk."""
-        deadline = (time.monotonic() + chunk_timeout
-                    if chunk_timeout is not None else None)
-        while True:
-            self._check_cancelled()
-            step = _CANCEL_POLL_S
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise FutureTimeoutError()
-                step = min(step, remaining)
+    def _payload_entry(self, job, key, executor):
+        if key is None and executor.wants_cache_keys and job.cached:
             try:
-                return future.result(timeout=step)
-            except FutureTimeoutError:
-                continue
+                key = job_cache_key(job)
+            except TypeError:
+                key = None
+        return (job.fn, dict(job.params), job.seed, job.label, key)
 
     def _degrade(self, reason):
         self.metrics.degraded = True
@@ -427,3 +799,11 @@ def _fn_name(job):
     from repro.engine.registry import function_identity
 
     return function_identity(job.fn)[0]
+
+
+# Re-exported for callers that sized pools off the old helper.
+def _default_pool_factory(workers):
+    from repro.engine.executors.local import (
+        _default_pool_factory as factory,
+    )
+    return factory(workers)

@@ -305,6 +305,19 @@ def _merge_buckets(per_wafer, voltages):
     return summary
 
 
+@job_function("fab.merge_yield", version="1")
+def merge_yield_job(params, seed):
+    """Engine job: fold per-wafer buckets into the Table 5 summary.
+
+    Runs as the sink node of the yield graph with ``per_wafer``
+    injected from the wafer nodes' results.  Submitted with
+    ``cached=False``: the fold is cheap and its inputs are already
+    cached per wafer, so an extra entry would only dilute hit
+    accounting.
+    """
+    return _merge_buckets(params["per_wafer"], params["voltages"])
+
+
 @lru_cache(maxsize=None)
 def _core_static(core):
     """Per-process memo of a named core's netlist and timing report, so
@@ -376,18 +389,29 @@ def run_fault_coverage(cores=("flexicore4", "flexicore8"), *, seed,
     "detected": n, "coverage": fraction, "details": [...]}}``.
     """
     backend = backend or default_backend()
-    jobs = [
-        Job(
-            fault_study_job,
-            {"core": core, "isa": core, "faults": faults,
-             "max_instructions": max_instructions, "backend": backend},
-            seed=child,
-            label=f"faults:{core}:{backend}",
-        )
+    eng = engine_or_default(engine)
+    nodes = [
+        eng.submit(_fault_job(core, child, faults, max_instructions,
+                              backend))
         for core, child in zip(cores, spawn_seeds(seed, len(cores)))
     ]
-    results = engine_or_default(engine).run(jobs, stage="fault-coverage")
-    return dict(zip(cores, results))
+    eng.run_graph(stage="fault-coverage")
+    return {core: node.result for core, node in zip(cores, nodes)}
+
+
+def _fault_job(core, child, faults, max_instructions, backend):
+    """The fault-injection campaign job for one core.
+
+    Shared by :func:`run_fault_coverage` and the yield graph's fault
+    branch so both address the same cache entries.
+    """
+    return Job(
+        fault_study_job,
+        {"core": core, "isa": core, "faults": faults,
+         "max_instructions": max_instructions, "backend": backend},
+        seed=child,
+        label=f"faults:{core}:{backend}",
+    )
 
 
 def run_yield_study(netlist, process, rng=None, wafers=5,
@@ -424,27 +448,40 @@ def run_yield_study(netlist, process, rng=None, wafers=5,
             )
         # One child per wafer plus a spare for the optional fault
         # campaign, so the two studies never share a seed stream.
+        # Everything goes into one dependency graph: the wafer jobs
+        # and the fault campaign are independent branches that overlap
+        # in the executor, and the merge node streams in as soon as
+        # the last wafer lands (instead of barriering per stage).
         children = spawn_seeds(seed, wafers + 1)
-        jobs = [
-            Job(
+        eng = engine_or_default(engine)
+        # The fault campaign is the long pole, so it is submitted (and
+        # therefore dispatched) first; the wafer jobs pack in around it
+        # on the remaining workers.
+        fault_node = None
+        if fault_check:
+            fault_node = eng.submit(_fault_job(
+                core, children[wafers], fault_check, 300,
+                backend or default_backend(),
+            ))
+        wafer_nodes = [
+            eng.submit(Job(
                 wafer_yield_job,
                 {"core": core, "process": process,
                  "voltages": tuple(voltages)},
                 seed=child,
                 label=f"{core}:wafer{index}",
-            )
+            ))
             for index, child in enumerate(children[:wafers])
         ]
-        per_wafer = engine_or_default(engine).run(
-            jobs, stage=f"yield:{core}"
+        merge_node = eng.submit(
+            Job(merge_yield_job, {"voltages": tuple(voltages)},
+                label=f"{core}:merge", cached=False),
+            deps={"per_wafer": wafer_nodes},
         )
-        summary = _merge_buckets(per_wafer, voltages)
-        if fault_check:
-            coverage = run_fault_coverage(
-                (core,), seed=children[wafers], faults=fault_check,
-                backend=backend, engine=engine,
-            )
-            summary["fault_coverage"] = coverage[core]
+        eng.run_graph(stage=f"yield:{core}")
+        summary = merge_node.result
+        if fault_node is not None:
+            summary["fault_coverage"] = fault_node.result
         return summary
 
     if fault_check:

@@ -108,10 +108,11 @@ class JobContext:
     the job record so a cancel request reaches the in-flight run.
     """
 
-    def __init__(self, record, cache, engine_jobs=1):
+    def __init__(self, record, cache, engine_jobs=1, executor=None):
         self.record = record
         self._cache = cache
         self._engine_jobs = engine_jobs
+        self._executor = executor
         self._engine = None
 
     def engine(self, cache=True):
@@ -119,6 +120,7 @@ class JobContext:
             self._engine = Engine(
                 jobs=self._engine_jobs,
                 cache=self._cache if cache else None,
+                executor=self._executor,
             )
             self.record.engine = self._engine
         return self._engine
@@ -128,13 +130,15 @@ class JobContext:
 
     @property
     def cache_hit(self):
-        """True when every engine job of this run came from cache."""
+        """True when every *cacheable* engine job of this run came from
+        cache.  Graph runs carry uncached fold nodes (e.g. the yield
+        merge), so the test is "some hits and zero misses" rather than
+        hits == submissions."""
         engine = self._engine
         if engine is None or engine.cache is None:
             return False
-        return (engine.metrics.jobs_submitted > 0
-                and engine.metrics.cache_hits
-                == engine.metrics.jobs_submitted)
+        return (engine.metrics.cache_hits > 0
+                and engine.metrics.cache_misses == 0)
 
 
 # ----------------------------------------------------------------------

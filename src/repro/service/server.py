@@ -101,6 +101,10 @@ class ServiceConfig:
     #: Worker processes per job's engine (1 = inline in the executor
     #: thread; fine for small studies, no pool startup cost).
     engine_jobs: int = 1
+    #: Engine executor backend per job (``None``/``"local"``,
+    #: ``"steal"``, ``"socket"``, or a ready
+    #: :class:`~repro.engine.Executor`).
+    engine_executor: object = None
     #: Executor threads = jobs running concurrently (across tenants).
     max_running: int = 2
     #: Admitted-but-not-running jobs beyond the running set; past
@@ -268,7 +272,8 @@ class JobService:
         record.set_status(RUNNING)
         record.emit("started")
         context = JobContext(
-            record, self.cache, engine_jobs=self.config.engine_jobs
+            record, self.cache, engine_jobs=self.config.engine_jobs,
+            executor=self.config.engine_executor,
         )
         status = FAILED
         trace_token = None
@@ -371,6 +376,11 @@ class JobService:
         by_status = {}
         for record in records:
             by_status[record.status] = by_status.get(record.status, 0) + 1
+        spec = self.config.engine_executor
+        executor_name = (
+            getattr(spec, "name", None) or
+            (spec if isinstance(spec, str) else None) or "local"
+        )
         return {
             "uptime_s": round(time.time() - self.started, 3),
             "draining": self.draining,
@@ -378,6 +388,10 @@ class JobService:
             "jobs": by_status,
             "max_running": self.config.max_running,
             "max_queued": self.config.max_queued,
+            "engine": {
+                "executor": executor_name,
+                "jobs": self.config.engine_jobs,
+            },
             "cache": self.cache.stats(),
         }
 
