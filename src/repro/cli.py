@@ -26,11 +26,15 @@ results are bit-identical at any worker count.  The same commands take
 collected run persists to the state directory for ``repro obs``.
 
 Commands that run gate-level simulation (``yield``, ``dse``,
-``pareto``) take ``--backend interpreted|compiled`` to pick the
-simulation backend (default: compiled, the 64-lane bit-parallel
-engine; ``interpreted`` is the single-lane reference -- see
-docs/GATESIM.md).  ``yield --fault-check N`` additionally grounds the
-yield model with an N-fault stuck-at injection campaign per core.
+``pareto``, ``conform run``) take ``--backend
+interpreted|compiled|vector`` to pick the simulation backend
+(default: compiled, the 64-lane bit-parallel engine; ``interpreted``
+is the single-lane reference; ``vector`` evaluates wafer-scale NumPy
+lane arrays -- see docs/GATESIM.md).  An unknown backend name exits 2
+with a one-line error.  ``yield --fault-check N`` additionally grounds
+the yield model with an N-fault stuck-at injection campaign per core,
+and ``yield --gate-level`` recomputes the Table 5 yields by actually
+simulating every fabricated die at the gate level.
 """
 
 import argparse
@@ -141,17 +145,25 @@ def _configure_engine(args):
 
 
 def _add_backend_argument(parser):
+    # No argparse `choices`: the registry validates in
+    # _configure_backend, so every command rejects an unknown backend
+    # the same way (one `error:` line, exit 2) instead of argparse's
+    # usage dump on some paths and a traceback on others.
     parser.add_argument(
         "--backend", default="compiled",
-        choices=("interpreted", "compiled"),
-        help="gate-level simulation backend (default: compiled, the "
-             "64-lane bit-parallel engine; 'interpreted' is the "
-             "single-lane reference)",
+        help="gate-level simulation backend: 'compiled' (default, the "
+             "64-lane bit-parallel engine), 'vector' (wafer-scale "
+             "NumPy lane arrays), or 'interpreted' (the single-lane "
+             "reference)",
     )
 
 
 def _configure_backend(args):
-    """Install the process-wide default simulation backend."""
+    """Install the process-wide default simulation backend.
+
+    Raises ``ValueError`` on an unknown name, which :func:`main` turns
+    into a one-line ``error:`` message and exit status 2.
+    """
     from repro.netlist import backend
 
     backend.configure(args.backend)
@@ -311,6 +323,24 @@ def cmd_yield(args):
         for core, study in coverage.items():
             print(f"  {core:<12} {study['detected']}/{study['injected']}"
                   f" detected ({100 * study['coverage']:.0f}%)")
+    if args.gate_level:
+        from repro.fab.process import process_for
+        from repro.fab.yield_model import run_gate_yield_study
+
+        print()
+        print(f"gate-level yield ({args.wafers} wafers/core, "
+              f"{backend} backend):")
+        for core in ("flexicore4", "flexicore8"):
+            study = run_gate_yield_study(
+                process_for(core), seed=args.seed, core=core,
+                wafers=args.wafers, backend=backend, engine=engine,
+            )
+            for voltage, bucket in sorted(study["summary"].items()):
+                print(f"  {core:<12} {voltage:g} V  "
+                      f"full {100 * bucket['full']:5.1f}%  "
+                      f"inclusion {100 * bucket['inclusion']:5.1f}%  "
+                      f"I {bucket['mean_current_ma']:.2f} mA "
+                      f"(rsd {bucket['rsd']:.3f})")
     if args.engine_verbose:
         print(engine.metrics.summary(), file=sys.stderr)
     return 0
@@ -675,6 +705,7 @@ def cmd_conform(args):
 
     # action == "run": a fresh cacheless engine -- every campaign must
     # execute its cases, never replay a previous campaign's results.
+    _configure_backend(args)
     engine = Engine(jobs=args.jobs, cache=None,
                     executor=_executor_spec(args))
     oracles = args.oracles.split(",") if args.oracles else None
@@ -928,6 +959,10 @@ def build_parser():
     p.add_argument("--fault-check", type=int, default=0, metavar="N",
                    help="also inject N stuck-at faults per core and "
                         "report how many the probe vectors detect")
+    p.add_argument("--gate-level", action="store_true",
+                   help="recompute Table 5 by gate-level simulation of "
+                        "every fabricated die (one cross-check lane "
+                        "per die; fastest with --backend vector)")
     _add_backend_argument(p)
     _add_engine_arguments(p)
     _add_obs_arguments(p)
@@ -1069,7 +1104,7 @@ def build_parser():
                         "(default 200)")
     c.add_argument("--oracles", default=None,
                    help="comma list of oracles to run (default: all of "
-                        "dispatch, backend, cache, fab, asm)")
+                        "dispatch, backend, vector, cache, fab, asm)")
     c.add_argument("--targets", default=None,
                    help="comma list of targets (default: flexicore4, "
                         "flexicore8, flexicore4plus where applicable)")
@@ -1082,6 +1117,7 @@ def build_parser():
     c.add_argument("--state-dir", default=None,
                    help="state directory for the failure corpus "
                         "(default: .repro-state or $REPRO_STATE_DIR)")
+    _add_backend_argument(c)
     _add_executor_arguments(c)
     _add_obs_arguments(c)
     c.set_defaults(fn=cmd_conform)

@@ -1,4 +1,4 @@
-"""The five differential oracles.
+"""The six differential oracles.
 
 Each oracle drives one pair (or triple) of redundant execution paths
 with the same generated case and compares every observable output
@@ -10,6 +10,9 @@ exactly:
 - ``backend``   -- interpreted vs compiled gate-level backend
   (per-lane mismatch counts, first-mismatch text, cycle counts, and
   toggle statistics, healthy lane plus injected stuck-at faults);
+- ``vector``    -- compiled vs vector (wafer-scale NumPy) gate-level
+  backend, same observables as ``backend`` but with campaigns sized
+  to cross the vector backend's 64-lane word boundary;
 - ``cache``     -- a job result computed directly, computed through the
   engine into a fresh cache, and read back from that cache;
 - ``fab``       -- the field-batched wafer Monte Carlo vs the scalar
@@ -186,7 +189,7 @@ def generate_backend(target, rng):
     return payload
 
 
-def execute_backend(case):
+def _execute_backend_pair(case, backends):
     from repro.isa import get_isa
     from repro.netlist.verify import run_cross_check_batch
 
@@ -197,7 +200,7 @@ def execute_backend(case):
         (gate, stuck) for gate, stuck in case.payload.get("faults", [])
     ]
     observations = {}
-    for backend in ("interpreted", "compiled"):
+    for backend in backends:
         lanes = run_cross_check_batch(
             netlist, isa, image,
             inputs=case.payload.get("inputs", []),
@@ -210,12 +213,51 @@ def execute_backend(case):
     return compare_observations(case, observations)
 
 
+def execute_backend(case):
+    return _execute_backend_pair(case, ("interpreted", "compiled"))
+
+
 register_oracle(Oracle(
     name="backend",
     description="interpreted == compiled gate-level simulation",
     generate=generate_backend,
     execute=execute_backend,
     cost=8,
+))
+
+
+# ----------------------------------------------------------------------
+# Oracle 6: compiled vs vector (wafer-scale) gate-level backend.
+# ----------------------------------------------------------------------
+
+def generate_vector(target, rng):
+    from repro.isa import get_isa
+
+    isa = get_isa(target)
+    payload = random_flat_payload(isa, rng, max_instructions=24)
+    payload["max_instructions"] = int(rng.integers(12, 40))
+    netlist = _gate_core_for(target)
+    # Mostly small campaigns, but often enough faults that the vector
+    # backend's lanes spill past bit 63 into the second uint64 word --
+    # the packing arithmetic the compiled backend never exercises.
+    if rng.random() < 0.25:
+        count = int(rng.integers(60, 97))
+    else:
+        count = int(rng.integers(0, 8))
+    payload["faults"] = random_fault_sites(netlist, rng, count)
+    return payload
+
+
+def execute_vector(case):
+    return _execute_backend_pair(case, ("compiled", "vector"))
+
+
+register_oracle(Oracle(
+    name="vector",
+    description="compiled == vector wafer-scale gate-level simulation",
+    generate=generate_vector,
+    execute=execute_vector,
+    cost=10,
 ))
 
 

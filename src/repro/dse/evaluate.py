@@ -128,7 +128,8 @@ def gate_level_check(design, backend=None, cycles=64, seed=2022):
 
     The analytical metrics (area, STA period, cycle models) never
     actually *run* the netlist; this does, on the selected
-    :mod:`repro.netlist.backend`.  The baseline design -- whose netlist
+    :mod:`repro.netlist.backend` (``"interpreted"`` / ``"compiled"`` /
+    ``"vector"``).  The baseline design -- whose netlist
     is the fabricated, ISA-verified FlexiCore4 -- is cross-checked
     against its ISA model over the directed test program.  The DSE
     netlists model hardware with no cycle-accurate ISA twin, so they

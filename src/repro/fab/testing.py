@@ -21,8 +21,19 @@ import numpy as np
 from repro import obs
 from repro.asm import assemble
 from repro.engine import job_function
-from repro.netlist.backend import default_backend
+from repro.netlist.backend import default_backend, resolve_backend
 from repro.netlist.verify import run_cross_check, run_cross_check_batch
+
+
+def fault_chunk_size(backend=None):
+    """Fault-campaign chunk size for ``backend``: its lane capacity.
+
+    Campaign drivers size their chunks from the *selected* backend's
+    ``max_lanes`` (64 for compiled, wafer-scale for vector) rather than
+    a hardcoded word width, so the final chunk carries exactly the
+    leftover faults instead of padding idle lanes.
+    """
+    return max(1, resolve_backend(backend).max_lanes)
 
 
 def directed_program(isa):
@@ -130,17 +141,21 @@ def fault_injection_study(netlist, isa, rng, faults=20,
     actually observe the defect.
 
     The fault list is packed into the lanes of the selected
-    :mod:`repro.netlist.backend` -- with the default compiled backend a
-    whole 64-fault chunk is one simulation run instead of 64 separate
-    cross-checks.  ``fastpath`` selects the predecoded ISA replay
-    (``False`` keeps the per-instruction decode reference).
+    :mod:`repro.netlist.backend`, chunked by :func:`fault_chunk_size`:
+    the compiled backend takes a 64-fault chunk per simulation run, the
+    vector backend takes the whole campaign (every fault one lane of a
+    wafer-scale array) in a single run.  ``fastpath`` selects the
+    predecoded ISA replay (``False`` keeps the per-instruction decode
+    reference).
     """
     program = directed_program(isa)
     inputs = [int(rng.integers(0, 16)) for _ in range(64)]
     sites = sample_fault_sites(netlist, rng, faults)
+    chunk = fault_chunk_size(backend)
     detected = 0
     details = []
     with obs.span("fab.fault_injection", faults=len(sites),
+                  chunks=-(-len(sites) // chunk) if sites else 0,
                   backend=backend or default_backend()):
         results = run_cross_check_batch(
             netlist, isa, program, inputs=inputs,
@@ -193,13 +208,18 @@ def _core_for_testing(core):
     return build_core(core)
 
 
-@job_function("fab.fault_study", version="1")
+@job_function("fab.fault_study", version="2")
 def fault_study_job(params, seed):
     """Engine job: one fault-injection campaign on a registered core.
 
     The payload names the core, the ISA, the fault count *and the
     simulation backend*, so the campaign runs identically (and caches
     under a distinct key) whichever worker process picks it up.
+
+    Version 2: campaign chunks are sized from the selected backend's
+    lane capacity (see :func:`fault_chunk_size`) -- under the vector
+    backend a whole campaign is one simulation run, and the per-chunk
+    obs accounting differs from version 1's fixed 64-lane chunking.
     """
     from repro.isa import get_isa
 

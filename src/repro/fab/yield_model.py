@@ -11,6 +11,13 @@ process corner meets the 12.5 kHz test clock at that voltage.  Failing
 dies report a nonzero output-error count over the ~100,000-cycle vector
 suite (Figure 6's wafer maps); every probed die reports a current draw
 (Figure 7's maps and the Section 4.2 variation study).
+
+:func:`gate_probe_wafer` replaces the analytic pass/fail model with an
+actual gate-level campaign: each die's defect draw becomes stuck-at
+faults in one simulation lane of a wafer-scale vector backend, so a
+full Table 5 yield study (:func:`run_gate_yield_study`) is *simulated*
+die by die in a handful of engine jobs, with every die replayable
+bit-for-bit against the interpreted reference.
 """
 
 import math
@@ -26,6 +33,7 @@ from repro.fab.process import WaferProcess
 from repro.fab.testing import fault_study_job
 from repro.fab.wafer import Wafer
 from repro.netlist.backend import default_backend
+from repro.netlist.verify import run_cross_check_batch
 from repro.tech import tft
 from repro.tech.power import FMAX_HZ, OperatingPoint, static_power_w
 
@@ -374,6 +382,195 @@ def probed_wafer_job(params, seed):
             with obs.span("fab.probe", voltage=voltage):
                 probes[voltage] = fabricated.probe(voltage, rng)
         return {"fabricated": fabricated, "probes": probes}
+
+
+def gate_probe_wafer(netlist, isa, fabricated, rng, voltages=(3.0, 4.5),
+                     *, backend=None, max_instructions=120,
+                     frequency_hz=FMAX_HZ):
+    """Probe every die on a wafer *gate-level*: one simulation lane per die.
+
+    Each die's latent Poisson defect count is materialized as that many
+    distinct stuck-at sites (its whole multi-defect draw occupying one
+    lane), and the entire wafer runs as a single
+    :func:`~repro.netlist.verify.run_cross_check_batch` campaign --
+    under the vector backend, one settle pass advances all 124 dies at
+    once.  Mismatch counts are voltage-independent (a stuck gate fails
+    the vectors at any supply), so one gate campaign serves every
+    probe voltage; timing is classified analytically per voltage from
+    the die's speed factor, exactly as :meth:`FabricatedWafer.probe`
+    does.
+
+    Returns ``(probes, campaign)``: ``probes`` maps voltage to a
+    :class:`WaferProbeResult` whose error counts are the *gate-level*
+    mismatch tallies (the Figure 6 maps, simulated rather than drawn
+    from the error-noise model), and ``campaign`` records the stimulus
+    (IPORT samples, instruction budget) plus per-die fault sites and
+    mismatch counts -- everything needed to replay any die against the
+    interpreted reference bit for bit.
+    Note a defective die whose faults the vectors never observe counts
+    *functional* here (a test escape); the analytic model's yield is a
+    lower bound on this one.
+    """
+    from repro.fab.testing import directed_program, sample_fault_sites
+
+    dies = fabricated.dies
+    faults = [
+        sample_fault_sites(netlist, rng, die.defects) if die.defects
+        else None
+        for die in dies
+    ]
+    program = directed_program(isa)
+    inputs = [int(value) for value in rng.integers(0, 16, size=64)]
+    with obs.span("fab.gate_probe", dies=len(dies),
+                  backend=backend or default_backend()):
+        outcomes = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=max_instructions, faults=faults,
+            backend=backend,
+        )
+    mismatches = np.array([outcome.mismatches for outcome in outcomes])
+
+    speed = np.array([die.speed_factor for die in dies])
+    factors = np.array([die.current_factor for die in dies])
+    has_defect = np.array([die.has_defect for die in dies])
+    current_noise = np.exp(rng.normal(0.0, 0.35, size=len(dies)))
+    probes = {}
+    for voltage in voltages:
+        point = OperatingPoint(
+            vdd=voltage, refined_pullups=fabricated.process.refined_pullups
+        )
+        base_power = static_power_w(fabricated.base_pullups, point)
+        base_period = fabricated.timing_report.period_s(voltage, 1.0)
+        meets_timing = 1.0 / (base_period * speed) >= frequency_hz
+        functional = (mismatches == 0) & meets_timing
+        shortfall = base_period * speed * frequency_hz - 1.0
+        current_a = base_power / voltage * factors
+        current_ma = np.where(
+            has_defect, current_a * current_noise, current_a
+        ) * 1e3
+        records = []
+        for index, die in enumerate(dies):
+            if functional[index]:
+                errors, mode = 0, None
+            elif mismatches[index]:
+                errors, mode = int(mismatches[index]), "defect"
+            else:
+                # Deterministic timing-shortfall error count: the gate
+                # simulation is zero-delay, so a timing miss is scored
+                # from the analytic shortfall, noise-free.
+                errors = int(min(
+                    TEST_CYCLES,
+                    max(1.0, round(shortfall[index] * TEST_CYCLES)),
+                ))
+                mode = "timing"
+            records.append(ProbeRecord(
+                site=die.site,
+                functional=bool(functional[index]),
+                errors=errors,
+                current_ma=float(current_ma[index]),
+                failure_mode=mode,
+            ))
+        result = WaferProbeResult(voltage=voltage, records=records)
+        if obs.active():
+            _fold_probe(result)
+        probes[voltage] = result
+
+    campaign = {
+        "inputs": inputs,
+        "max_instructions": max_instructions,
+        "dies": [
+            {
+                "row": die.site.row,
+                "col": die.site.col,
+                "inclusion": bool(die.site.in_inclusion_zone),
+                "defects": die.defects,
+                "fault_sites": list(faults[index]) if faults[index] else [],
+                "mismatches": int(mismatches[index]),
+                "speed_factor": die.speed_factor,
+            }
+            for index, die in enumerate(dies)
+        ],
+    }
+    return probes, campaign
+
+
+@job_function("fab.gate_wafer_yield", version="1")
+def gate_wafer_yield_job(params, seed):
+    """Engine job: fabricate one wafer and probe every die gate-level.
+
+    The whole wafer is one simulation campaign (one lane per die, see
+    :func:`gate_probe_wafer`), so a full Table 5 study is ``wafers``
+    engine jobs rather than thousands of per-die runs.  Returns the
+    per-voltage Table 5 buckets, the gate-level Figure 6 error maps,
+    and per-die records (fault sites, mismatch counts) sufficient to
+    replay any die against the interpreted reference.
+    """
+    from repro.isa import get_isa
+
+    with obs.span("fab.gate_wafer_yield", core=params["core"],
+                  backend=params["backend"]):
+        netlist, report = _core_static(params["core"])
+        rng = seed.rng()
+        with obs.span("fab.fabricate", core=params["core"]):
+            fabricated = fabricate_wafer(
+                netlist, params["process"], rng, timing_report=report
+            )
+        probes, campaign = gate_probe_wafer(
+            netlist, get_isa(params["isa"]), fabricated, rng,
+            voltages=params["voltages"],
+            backend=params["backend"],
+            max_instructions=params.get("max_instructions", 120),
+        )
+        return {
+            "buckets": {
+                voltage: _probe_bucket(probe)
+                for voltage, probe in probes.items()
+            },
+            "error_maps": {
+                voltage: {
+                    f"{row},{col}": errors
+                    for (row, col), errors in probe.error_map().items()
+                }
+                for voltage, probe in probes.items()
+            },
+            "inputs": campaign["inputs"],
+            "max_instructions": campaign["max_instructions"],
+            "dies": campaign["dies"],
+        }
+
+
+def run_gate_yield_study(process, *, seed, core="flexicore4", wafers=5,
+                         voltages=(3.0, 4.5), backend="vector",
+                         max_instructions=120, engine=None):
+    """The Table 5 study with every die *simulated*, not modelled.
+
+    One engine job per wafer (see :func:`gate_wafer_yield_job`); each
+    job runs its whole wafer as a single gate-level campaign through
+    ``backend`` (default ``"vector"``, whose lane capacity covers any
+    wafer).  Returns ``{"summary": {voltage: table5_row},
+    "wafers": [per-wafer job results]}`` -- the summary matches
+    :func:`run_yield_study`'s shape, the wafer entries carry the
+    gate-level Figure 6 error maps and the per-die fault sites needed
+    to cross-check sampled dies against the interpreted reference.
+    """
+    eng = engine_or_default(engine)
+    nodes = [
+        eng.submit(Job(
+            gate_wafer_yield_job,
+            {"core": core, "isa": core, "process": process,
+             "voltages": tuple(voltages), "backend": backend,
+             "max_instructions": max_instructions},
+            seed=child,
+            label=f"{core}:gate-wafer{index}",
+        ))
+        for index, child in enumerate(spawn_seeds(seed, wafers))
+    ]
+    eng.run_graph(stage=f"gate-yield:{core}")
+    results = [node.result for node in nodes]
+    summary = _merge_buckets(
+        [result["buckets"] for result in results], tuple(voltages)
+    )
+    return {"summary": summary, "wafers": results}
 
 
 def run_fault_coverage(cores=("flexicore4", "flexicore8"), *, seed,

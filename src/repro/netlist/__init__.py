@@ -11,6 +11,7 @@ from repro.netlist.backend import (
     CompiledBackend,
     InterpretedBackend,
     SimBackend,
+    VectorBackend,
     configure,
     default_backend,
     make_backend,
@@ -38,6 +39,7 @@ __all__ = [
     "NetlistBuilder",
     "SimBackend",
     "TimingReport",
+    "VectorBackend",
     "analyze",
     "build_extended_core",
     "build_flexicore4",

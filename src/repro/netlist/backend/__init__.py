@@ -1,6 +1,6 @@
 """Gate-level simulation backends behind one interface.
 
-Two implementations of :class:`SimBackend`:
+Three implementations of :class:`SimBackend`:
 
 - ``"interpreted"`` -- the per-gate dict interpreter
   (:class:`InterpretedBackend`), one lane per instance, kept as the
@@ -8,7 +8,11 @@ Two implementations of :class:`SimBackend`:
 - ``"compiled"`` -- the levelized bit-parallel evaluator
   (:class:`CompiledBackend`), packing up to 64 independent fault lanes
   into the bits of 64-bit words, so one settle pass simulates a whole
-  fault campaign chunk.
+  fault campaign chunk;
+- ``"vector"`` -- the wafer-scale evaluator (:class:`VectorBackend`),
+  generalizing the packing to NumPy ``uint64`` lane arrays of shape
+  ``(words,)`` per net, so capacity is ``64 x words`` lanes and one
+  settle pass advances every die on a wafer.
 
 Consumers (cross-checks, fault campaigns, toggle studies, the CLI)
 select a backend by name; ``None`` means the process-wide default set
@@ -22,6 +26,7 @@ from repro.netlist.backend.base import (
     SimBackend,
     configure,
     default_backend,
+    lane_fault_list,
     make_backend,
     resolve_backend,
 )
@@ -31,6 +36,7 @@ from repro.netlist.backend.compiled import (
     CompiledBackend,
 )
 from repro.netlist.backend.interpreted import InterpretedBackend
+from repro.netlist.backend.vector import VECTOR_MAX_LANES, VectorBackend
 from repro.netlist.levelize import CombinationalLoopError, levelize
 
 __all__ = [
@@ -40,9 +46,12 @@ __all__ = [
     "FULL_MASK",
     "InterpretedBackend",
     "SimBackend",
+    "VECTOR_MAX_LANES",
+    "VectorBackend",
     "WORD_LANES",
     "configure",
     "default_backend",
+    "lane_fault_list",
     "levelize",
     "make_backend",
     "resolve_backend",

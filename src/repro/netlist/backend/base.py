@@ -2,16 +2,18 @@
 
 A backend evaluates a gate-level netlist over one or more *lanes*.  A
 lane is one independent simulation of the design: same stimulus, but
-its own injected stuck-at fault and its own toggle counts.  The
+its own injected stuck-at faults and its own toggle counts.  The
 interpreted backend runs one lane per instance (the bit-exact
 reference); the compiled backend packs up to 64 lanes into the bits of
 machine words, so one settle pass advances 64 fault candidates or
-Monte Carlo dies at once.
+Monte Carlo dies at once; the vector backend generalizes the packing
+to NumPy ``uint64`` lane arrays, lifting capacity to ``64 x words``
+lanes so a single settle pass evaluates every die on a wafer.
 
 Consumers address backends by name (``"interpreted"`` /
-``"compiled"``) through :func:`make_backend`; ``None`` resolves to the
-process-wide default installed by :func:`configure` (the CLI's
-``--backend`` flag lands there).
+``"compiled"`` / ``"vector"``) through :func:`make_backend`; ``None``
+resolves to the process-wide default installed by :func:`configure`
+(the CLI's ``--backend`` flag lands there).
 """
 
 from abc import ABC, abstractmethod
@@ -67,6 +69,24 @@ def make_backend(name, netlist, lanes=1):
     return cls(netlist, lanes=lanes)
 
 
+def lane_fault_list(entry):
+    """Normalize one lane's fault spec to a list of (gate, stuck) pairs.
+
+    A lane entry is ``None`` (healthy lane), a single
+    ``(gate_name, stuck_value)`` pair, or an iterable of such pairs --
+    the multi-fault form encodes one die's whole defect draw in one
+    lane.  All backends accept all three forms.
+    """
+    if entry is None:
+        return []
+    entry = list(entry)
+    if entry and isinstance(entry[0], str):
+        if len(entry) != 2:
+            raise ValueError(f"malformed fault entry {entry!r}")
+        return [(entry[0], entry[1])]
+    return [(gate, stuck) for gate, stuck in entry]
+
+
 class SimBackend(ABC):
     """Multi-lane gate-level evaluation of one netlist.
 
@@ -100,11 +120,12 @@ class SimBackend(ABC):
 
     @abstractmethod
     def set_fault_lanes(self, faults):
-        """Install one stuck-at fault per lane and re-settle.
+        """Install per-lane stuck-at faults and re-settle.
 
         ``faults`` is a sequence of at most ``lanes`` entries, each
-        ``None`` (healthy lane) or a ``(gate_name, stuck_value)`` pair.
-        Replaces any previously installed faults.
+        ``None`` (healthy lane), a ``(gate_name, stuck_value)`` pair,
+        or an iterable of such pairs (a multi-defect die occupies one
+        lane).  Replaces any previously installed faults.
         """
 
     @abstractmethod
@@ -136,6 +157,19 @@ class SimBackend(ABC):
             for lane in range(self.lanes)
         ]
 
+    def read_bus_lane_array(self, stem, width=None):
+        """Bus value in every lane, as a numpy int64 array.
+
+        Campaign drivers compare thousands of lanes per instruction;
+        an array return keeps that comparison vectorized.  Packed
+        backends override this to skip the Python loop entirely.
+        """
+        import numpy as np
+
+        return np.asarray(
+            self.read_bus_lanes(stem, width=width), dtype=np.int64
+        )
+
     @abstractmethod
     def toggles(self, lane=0):
         """{gate name: toggle count} for one lane."""
@@ -148,6 +182,19 @@ class SimBackend(ABC):
         mean = sum(counts.values()) / total
         return toggled / total, mean
 
+    def toggle_coverage_lanes(self):
+        """Toggle coverage of every lane, as (fractions, means) arrays.
+
+        Result assembly over wafer-scale lane counts must not loop in
+        Python; packed backends override this with matrix reductions.
+        """
+        import numpy as np
+
+        pairs = [self.toggle_coverage(lane) for lane in range(self.lanes)]
+        fractions = np.array([fraction for fraction, _ in pairs])
+        means = np.array([mean for _, mean in pairs])
+        return fractions, means
+
     @abstractmethod
     def flush_obs(self):
         """Fold lane-adjusted evaluation tallies into the obs registry.
@@ -158,6 +205,45 @@ class SimBackend(ABC):
         batched fault campaign reports the same totals as the
         equivalent serial one.
         """
+
+    # -- shared helpers for packed backends ---------------------------
+    # These assume the dense-net-numbering attributes (`_net_ids`,
+    # `_bus_cache`, `_lanes`) that the compiled and vector backends
+    # both maintain.
+
+    def _bus_nets(self, stem):
+        """Net indices of ``stem0..N`` (empty when no such bus)."""
+        nets = []
+        while True:
+            index = self._net_ids.get(f"{stem}{len(nets)}")
+            if index is None:
+                return nets
+            nets.append(index)
+
+    def _bus_ids(self, stem, width):
+        key = (stem, width)
+        cached = self._bus_cache.get(key)
+        if cached is not None:
+            return cached
+        nets = self._bus_nets(stem)
+        if not nets:
+            raise KeyError(f"no such bus '{stem}'")
+        if width is not None:
+            if len(nets) < width:
+                raise KeyError(
+                    f"bus '{stem}' is only {len(nets)} bits wide; "
+                    f"cannot read {width} bits"
+                )
+            nets = nets[:width]
+        self._bus_cache[key] = nets
+        return nets
+
+    def _check_lane(self, lane):
+        if not 0 <= lane < self._lanes:
+            raise IndexError(
+                f"lane {lane} out of range for a {self._lanes}-lane "
+                f"backend"
+            )
 
     # -- shared input validation --------------------------------------
 

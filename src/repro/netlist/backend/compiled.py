@@ -27,7 +27,11 @@ total.
 import numpy as np
 
 from repro import obs
-from repro.netlist.backend.base import SimBackend, register_backend
+from repro.netlist.backend.base import (
+    SimBackend,
+    lane_fault_list,
+    register_backend,
+)
 from repro.netlist.levelize import levelize
 
 #: Lanes packed into one machine word (one bit per lane).
@@ -99,7 +103,9 @@ class CompiledBackend(SimBackend):
         ]
         count = len(self._row_names)
         self._n_comb = len(self._comb)
-        self._toggle_bits = np.zeros((count, WORD_LANES), dtype=np.uint64)
+        # Sized by the active lane count, not WORD_LANES: a 10-lane
+        # final chunk should not pay for 54 idle padding columns.
+        self._toggle_bits = np.zeros((count, lanes), dtype=np.uint64)
         self._shifts = np.arange(WORD_LANES, dtype=np.uint64)
         self._one = np.uint64(1)
         self._comb_changed = [0] * self._n_comb
@@ -191,29 +197,28 @@ class CompiledBackend(SimBackend):
         self._comb_fault = {}
         self._flop_fault = {}
         flop_positions = {g.name: i for i, g in enumerate(self._flops)}
-        faulted_lanes = 0
-        for lane, fault in enumerate(faults):
-            if fault is None:
-                continue
-            gate_name, stuck = fault
-            if gate_name not in self._gate_names:
-                raise KeyError(f"no gate named '{gate_name}'")
-            faulted_lanes += 1
-            table = (self._flop_fault if gate_name in flop_positions
-                     else self._comb_fault)
-            key = (flop_positions[gate_name]
-                   if gate_name in flop_positions else gate_name)
-            mask, value = table.get(key, (0, 0))
-            mask |= 1 << lane
-            if stuck & 1:
-                value |= 1 << lane
-            table[key] = (mask, value)
+        injected = 0
+        for lane, entry in enumerate(faults):
+            for gate_name, stuck in lane_fault_list(entry):
+                if gate_name not in self._gate_names:
+                    raise KeyError(f"no gate named '{gate_name}'")
+                injected += 1
+                table = (self._flop_fault if gate_name in flop_positions
+                         else self._comb_fault)
+                key = (flop_positions[gate_name]
+                       if gate_name in flop_positions else gate_name)
+                mask, value = table.get(key, (0, 0))
+                mask |= 1 << lane
+                if stuck & 1:
+                    value |= 1 << lane
+                table[key] = (mask, value)
         self._specialize()
-        if faulted_lanes:
+        if injected:
             # Mirror the interpreter's inject_fault(): propagate the
-            # fault without counting toggles, charging one settle per
-            # faulted lane (the serial campaign injects per run).
-            self._settle(count=False, charge_lanes=faulted_lanes)
+            # faults without counting toggles, charging one settle per
+            # injected fault (the serial reference settles once per
+            # injection).
+            self._settle(count=False, charge_lanes=injected)
 
     def clear_faults(self):
         had_faults = bool(self._comb_fault or self._flop_fault)
@@ -240,7 +245,7 @@ class CompiledBackend(SimBackend):
             value |= ((self._state[index] >> lane) & 1) << bit
         return value
 
-    def read_bus_lanes(self, stem, width=None):
+    def read_bus_lane_array(self, stem, width=None):
         indices = self._bus_ids(stem, width)
         words = np.array([self._state[i] for i in indices],
                          dtype=np.uint64)
@@ -248,13 +253,23 @@ class CompiledBackend(SimBackend):
         powers = np.left_shift(1, np.arange(len(indices)),
                                dtype=np.int64)
         values = bits.astype(np.int64).T @ powers
-        return values[:self._lanes].tolist()
+        return values[:self._lanes]
+
+    def read_bus_lanes(self, stem, width=None):
+        return self.read_bus_lane_array(stem, width).tolist()
 
     def toggles(self, lane=0):
         self._check_lane(lane)
         column = self._toggle_bits[:, lane]
         return {name: int(count)
                 for name, count in zip(self._row_names, column)}
+
+    def toggle_coverage_lanes(self):
+        counts = self._toggle_bits
+        total = len(self._row_names) or 1
+        fractions = np.count_nonzero(counts, axis=0) / total
+        means = counts.sum(axis=0, dtype=np.int64) / total
+        return fractions, means
 
     def flush_obs(self):
         if not obs.active():
@@ -303,41 +318,8 @@ class CompiledBackend(SimBackend):
         words = np.array(changed, dtype=np.uint64)
         rows = slice(row_offset, row_offset + len(changed))
         self._toggle_bits[rows] += (
-            (words[:, None] >> self._shifts) & self._one
+            (words[:, None] >> self._shifts[:self._lanes]) & self._one
         )
 
-    # -- helpers -------------------------------------------------------
-
-    def _bus_nets(self, stem):
-        """Net indices of ``stem0..N`` (empty when no such bus)."""
-        nets = []
-        while True:
-            index = self._net_ids.get(f"{stem}{len(nets)}")
-            if index is None:
-                return nets
-            nets.append(index)
-
-    def _bus_ids(self, stem, width):
-        key = (stem, width)
-        cached = self._bus_cache.get(key)
-        if cached is not None:
-            return cached
-        nets = self._bus_nets(stem)
-        if not nets:
-            raise KeyError(f"no such bus '{stem}'")
-        if width is not None:
-            if len(nets) < width:
-                raise KeyError(
-                    f"bus '{stem}' is only {len(nets)} bits wide; "
-                    f"cannot read {width} bits"
-                )
-            nets = nets[:width]
-        self._bus_cache[key] = nets
-        return nets
-
-    def _check_lane(self, lane):
-        if not 0 <= lane < self._lanes:
-            raise IndexError(
-                f"lane {lane} out of range for a {self._lanes}-lane "
-                f"backend"
-            )
+    # Bus and lane helpers (`_bus_nets`, `_bus_ids`, `_check_lane`)
+    # are shared with the vector backend and live on SimBackend.

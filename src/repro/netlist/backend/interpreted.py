@@ -7,7 +7,11 @@ fault propagation -- is answered by the interpreter; the compiled
 backend is validated bit-for-bit against this one.
 """
 
-from repro.netlist.backend.base import SimBackend, register_backend
+from repro.netlist.backend.base import (
+    SimBackend,
+    lane_fault_list,
+    register_backend,
+)
 from repro.netlist.sim import GateLevelSimulator
 
 
@@ -44,9 +48,9 @@ class InterpretedBackend(SimBackend):
                 f"got {len(faults)}"
             )
         self.sim.faults.clear()
-        if faults and faults[0] is not None:
-            gate_name, stuck = faults[0]
-            self.sim.inject_fault(gate_name, stuck)
+        if faults:
+            for gate_name, stuck in lane_fault_list(faults[0]):
+                self.sim.inject_fault(gate_name, stuck)
 
     def clear_faults(self):
         self.sim.clear_faults()

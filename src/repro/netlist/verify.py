@@ -17,6 +17,8 @@ parallel fault simulation strategy.
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.netlist.backend.base import resolve_backend
 from repro.sim.memory import ProgramMemory  # noqa: F401  (re-export)
 
@@ -44,7 +46,8 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
     fault: a ``(gate_name, value)`` pair forcing that gate's output --
     used by the yield model's fault-detection tests.  ``backend`` names
     the gate-level simulation backend (``"interpreted"`` /
-    ``"compiled"``; ``None`` uses the process default).  ``fastpath``
+    ``"compiled"`` / ``"vector"``; ``None`` uses the process default).
+    ``fastpath``
     replays the ISA side through the predecoded page table (decode once
     per program instead of once per instruction); ``False`` keeps the
     per-instruction ``isa.decode`` reference replay.
@@ -62,14 +65,16 @@ def run_cross_check(netlist, isa, program, inputs=None, max_instructions=500,
 def run_cross_check_batch(netlist, isa, program, inputs=None,
                           max_instructions=500, faults=None, backend=None,
                           fastpath=True):
-    """Cross-check one fault per lane, all in as few runs as possible.
+    """Cross-check one die per lane, all in as few runs as possible.
 
-    ``faults`` is a sequence whose entries are ``None`` (healthy lane)
-    or ``(gate_name, stuck_value)`` pairs; the result list lines up
-    with it.  Fault lists longer than the backend's lane capacity are
-    chunked (the interpreted reference is single-lane, so it degrades
-    to the per-fault loop; the compiled backend takes 64 per run).
-    Each lane's result -- mismatch count, first-mismatch message, and
+    ``faults`` is a sequence whose entries are ``None`` (healthy lane),
+    ``(gate_name, stuck_value)`` pairs, or lists of such pairs (one
+    multi-defect die per lane); the result list lines up with it.
+    Fault lists longer than the backend's lane capacity are chunked
+    (the interpreted reference is single-lane, so it degrades to the
+    per-fault loop; the compiled backend takes 64 per run; the vector
+    backend takes a whole wafer-scale campaign in one run).  Each
+    lane's result -- mismatch count, first-mismatch message, and
     toggle statistics -- is bit-identical to a dedicated serial run,
     because every lane sees exactly the same ISA-derived stimulus.
     """
@@ -125,24 +130,29 @@ def _drive_chunk(backend_cls, netlist, isa, image, input_values,
 
     state.input_fn = isa_input
 
-    mismatches = [0] * lanes
+    mismatches = np.zeros(lanes, dtype=np.int64)
     firsts: List[Optional[str]] = [None] * lanes
+    # Lanes still waiting for their first-mismatch message; keeping it
+    # as a mask means a wafer of persistently-bad lanes costs one
+    # vector op per boundary, not a Python loop per instruction.
+    need_first = np.ones(lanes, dtype=bool)
     width = isa.word_bits
 
     for instruction_index in range(max_instructions):
         # ---- compare architectural state at the boundary, per lane ----
-        pc_lanes = gate_sim.read_bus_lanes("pc")
-        oport_lanes = gate_sim.read_bus_lanes("oport", width)
+        pc_lanes = gate_sim.read_bus_lane_array("pc")
+        oport_lanes = gate_sim.read_bus_lane_array("oport", width)
         isa_oport = state.mem[1]
-        for lane in range(lanes):
-            if pc_lanes[lane] != state.pc or oport_lanes[lane] != isa_oport:
-                mismatches[lane] += 1
-                if firsts[lane] is None:
-                    firsts[lane] = (
-                        f"instruction {instruction_index}: "
-                        f"pc gate={pc_lanes[lane]} isa={state.pc}, "
-                        f"oport gate={oport_lanes[lane]} isa={isa_oport}"
-                    )
+        bad = (pc_lanes != state.pc) | (oport_lanes != isa_oport)
+        if bad.any():
+            mismatches += bad
+            for lane in np.nonzero(bad & need_first)[0]:
+                firsts[lane] = (
+                    f"instruction {instruction_index}: "
+                    f"pc gate={int(pc_lanes[lane])} isa={state.pc}, "
+                    f"oport gate={int(oport_lanes[lane])} isa={isa_oport}"
+                )
+            need_first &= ~bad
         # ---- step the ISA model ----
         if table is not None:
             decoded = table.decoded[state.pc]
@@ -177,14 +187,14 @@ def _drive_chunk(backend_cls, netlist, isa, image, input_values,
             break
 
     gate_sim.flush_obs()
+    fractions, means = gate_sim.toggle_coverage_lanes()
     results = []
     for lane in range(lanes):
-        toggled, mean = gate_sim.toggle_coverage(lane)
         results.append(CrossCheckResult(
             cycles=gate_sim.cycles,
-            mismatches=mismatches[lane],
+            mismatches=int(mismatches[lane]),
             first_mismatch=firsts[lane],
-            toggle_fraction=toggled,
-            mean_toggles=mean,
+            toggle_fraction=float(fractions[lane]),
+            mean_toggles=float(means[lane]),
         ))
     return results

@@ -240,7 +240,9 @@ def _design_names():
 
 
 def _backend_names():
-    return ("interpreted", "compiled")
+    from repro.netlist.backend import BACKENDS
+
+    return tuple(sorted(BACKENDS))
 
 
 def _oracle_names():

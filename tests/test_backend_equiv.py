@@ -1,10 +1,13 @@
-"""Property-style equivalence: compiled backend vs the interpreted reference.
+"""Property-style equivalence: packed backends vs the interpreted reference.
 
-The compiled backend's only correctness contract is "bit-identical to
-the interpreter": same outputs, same per-gate toggle counts, same fault
-verdicts, same observability totals.  These tests check that contract
-on random programs and random fault sites over the fabricated cores
-(FlexiCore4, FlexiCore8) and on random stimulus over the DSE cores.
+The compiled and vector backends' only correctness contract is
+"bit-identical to the interpreter": same outputs, same per-gate toggle
+counts, same fault verdicts, same observability totals.  These tests
+check that contract on random programs and random fault sites over the
+fabricated cores (FlexiCore4, FlexiCore8) and on random stimulus over
+the DSE cores; the vector backend is additionally exercised across its
+64-lane word boundary (non-multiple-of-64 lane counts), with zero-fault
+lanes, multi-defect die lanes, and per-lane input variation.
 """
 
 import numpy as np
@@ -16,9 +19,11 @@ from repro.isa import get_isa
 from repro.isa.extended import FULL_FEATURES
 from repro.netlist.backend import (
     BACKENDS,
+    VECTOR_MAX_LANES,
     WORD_LANES,
     CompiledBackend,
     InterpretedBackend,
+    VectorBackend,
     configure,
     default_backend,
     make_backend,
@@ -66,6 +71,11 @@ class TestCrossCheckEquivalence:
         # Dataclass equality covers cycles, mismatch counts, the exact
         # first-mismatch message, and both toggle statistics.
         assert batched == reference
+        vectored = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=100, faults=faults, backend="vector",
+        )
+        assert vectored == reference
 
     def test_fault_free_single_lane_matches(self, cores):
         netlist = cores["flexicore4"]
@@ -81,6 +91,7 @@ class TestCrossCheckEquivalence:
             for name in sorted(BACKENDS)
         }
         assert results["compiled"] == results["interpreted"]
+        assert results["vector"] == results["interpreted"]
 
     def test_interpreted_chunks_to_per_fault_runs(self, cores):
         """The single-lane reference still accepts a fault batch."""
@@ -153,6 +164,122 @@ class TestLaneSemantics:
             sim.set_fault_lanes([None, None, None])
 
 
+class TestVectorLaneSemantics:
+    """Vector-specific lane behavior: word-boundary crossing, zero-fault
+    lanes, multi-defect die lanes, and per-lane input variation."""
+
+    @pytest.mark.parametrize("core", FAB_CORES)
+    def test_boundary_crossing_campaign_matches_compiled(self, cores,
+                                                         core):
+        """70 lanes (not a multiple of 64, spilling into word 1) with
+        zero-fault lanes interleaved, checked against the compiled
+        backend (itself proven against the interpreter above)."""
+        netlist = cores[core]
+        isa = get_isa(core)
+        rng = np.random.default_rng(70)
+        program = random_program(isa, rng, length=40)
+        inputs = _random_inputs(rng, isa.word_bits, 24)
+        sites = sample_fault_sites(netlist, rng, 67)
+        faults = [None, None] + sites[:33] + [None] + sites[33:]
+        assert len(faults) == 70 and len(faults) % WORD_LANES != 0
+        compiled = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=80, faults=faults, backend="compiled",
+        )
+        vectored = run_cross_check_batch(
+            netlist, isa, program, inputs=inputs,
+            max_instructions=80, faults=faults, backend="vector",
+        )
+        assert vectored == compiled
+
+    def test_multi_defect_die_lanes_match_serial(self, cores):
+        """A lane entry that is a *list* of stuck-at pairs behaves like
+        one interpreted instance with every fault injected."""
+        netlist = cores["flexicore4"]
+        rng = np.random.default_rng(17)
+        sites = sample_fault_sites(netlist, rng, 6)
+        faults = [None, sites[:2], sites[2:5], [sites[5]]]
+
+        packed = VectorBackend(netlist, lanes=len(faults))
+        packed.set_fault_lanes(faults)
+        serial = []
+        for entry in faults:
+            sim = InterpretedBackend(netlist)
+            sim.set_fault_lanes([entry])
+            serial.append(sim)
+
+        drive = np.random.default_rng(23)
+        for _ in range(20):
+            stimulus = {
+                "instr": int(drive.integers(0, 256)),
+                "iport": int(drive.integers(0, 16)),
+            }
+            packed.set_inputs(stimulus)
+            packed.step()
+            for sim in serial:
+                sim.set_inputs(stimulus)
+                sim.step()
+        for lane, sim in enumerate(serial):
+            assert packed.read_bus("pc", lane=lane) == \
+                sim.read_bus("pc")
+            assert packed.read_bus("oport", lane=lane) == \
+                sim.read_bus("oport")
+            assert packed.toggles(lane) == sim.toggles()
+
+    def test_per_lane_inputs_match_serial(self, cores):
+        """set_input_lanes: each lane sees its own IPORT value, as a
+        per-die variation vector, bit-exact vs per-lane references --
+        including lanes past the first uint64 word."""
+        netlist = cores["flexicore4"]
+        lanes = 70
+        packed = VectorBackend(netlist, lanes=lanes)
+        rng = np.random.default_rng(3)
+        iports = rng.integers(0, 16, size=lanes)
+        check = [0, 1, 63, 64, 69]  # both sides of the word boundary
+        serial = {lane: InterpretedBackend(netlist) for lane in check}
+        for _ in range(16):
+            instr = int(rng.integers(0, 256))
+            packed.set_inputs({"instr": instr})
+            packed.set_input_lanes({"iport": iports})
+            packed.step()
+            for lane, sim in serial.items():
+                sim.set_inputs({
+                    "instr": instr, "iport": int(iports[lane]),
+                })
+                sim.step()
+        for lane, sim in serial.items():
+            assert packed.read_bus("pc", lane=lane) == \
+                sim.read_bus("pc")
+            assert packed.read_bus("oport", lane=lane) == \
+                sim.read_bus("oport")
+            assert packed.toggles(lane) == sim.toggles()
+
+    def test_per_lane_input_validation(self, cores):
+        sim = VectorBackend(cores["flexicore4"], lanes=4)
+        with pytest.raises(ValueError, match="one value per lane"):
+            sim.set_input_lanes({"iport": [1, 2]})
+        with pytest.raises(ValueError, match="out of range"):
+            sim.set_input_lanes({"iport": [0, 1, 2, 16]})
+        with pytest.raises(ValueError, match="must be 0 or 1"):
+            sim.set_input_lanes({"iport0": [0, 1, 2, 0]})
+        with pytest.raises(KeyError):
+            sim.set_input_lanes({"no_such_bus": [0, 0, 0, 0]})
+
+    def test_lane_bounds(self, cores):
+        netlist = cores["flexicore4"]
+        with pytest.raises(ValueError):
+            VectorBackend(netlist, lanes=0)
+        with pytest.raises(ValueError):
+            VectorBackend(netlist, lanes=VECTOR_MAX_LANES + 1)
+        sim = VectorBackend(netlist, lanes=66)
+        with pytest.raises(IndexError):
+            sim.read_bus("pc", lane=66)
+        with pytest.raises(ValueError):
+            sim.set_fault_lanes([None] * 67)
+        # Capacity past one word is real, not just accepted.
+        assert sim.read_bus("pc", lane=65) == sim.read_bus("pc", lane=0)
+
+
 class TestDseCoreEquivalence:
     """The DSE netlists simulate identically on both backends."""
 
@@ -173,19 +300,22 @@ class TestDseCoreEquivalence:
         )
         reference = make_backend("interpreted", netlist)
         compiled = make_backend("compiled", netlist)
+        vectored = make_backend("vector", netlist)
         rng = np.random.default_rng(2022)
         for _ in range(32):
             stimulus = {
                 "instr": int(rng.integers(0, 1 << instr_bits)),
                 "iport": int(rng.integers(0, 1 << iport_bits)),
             }
-            for sim in (reference, compiled):
+            for sim in (reference, compiled, vectored):
                 sim.set_inputs(stimulus)
                 sim.step()
-            assert compiled.read_bus("pc") == reference.read_bus("pc")
-            assert compiled.read_bus("oport") == \
-                reference.read_bus("oport")
+            for sim in (compiled, vectored):
+                assert sim.read_bus("pc") == reference.read_bus("pc")
+                assert sim.read_bus("oport") == \
+                    reference.read_bus("oport")
         assert compiled.toggles() == reference.toggles()
+        assert vectored.toggles() == reference.toggles()
 
     def test_dse_core_fault_verdicts_match(self):
         netlist = build_extended_core(frozenset(FULL_FEATURES))
@@ -208,8 +338,9 @@ class TestDseCoreEquivalence:
             return trace
 
         for fault in [None] + sites:
-            assert outputs_after("compiled", fault) == \
-                outputs_after("interpreted", fault)
+            reference = outputs_after("interpreted", fault)
+            assert outputs_after("compiled", fault) == reference
+            assert outputs_after("vector", fault) == reference
 
 
 class TestInputValidation:
@@ -294,14 +425,21 @@ class TestObservability:
             netlist, isa, program, faults, "compiled"
         )
         assert batched == serial
+        vectored = self._campaign_totals(
+            netlist, isa, program, faults, "vector"
+        )
+        assert vectored == serial
         assert serial["gate_evaluations_total"] > 0
 
 
 class TestRegistry:
     def test_known_backends(self):
-        assert set(BACKENDS) == {"interpreted", "compiled"}
+        assert set(BACKENDS) == {"interpreted", "compiled", "vector"}
         assert resolve_backend("compiled") is CompiledBackend
         assert resolve_backend("interpreted") is InterpretedBackend
+        assert resolve_backend("vector") is VectorBackend
+        assert VectorBackend.max_lanes == VECTOR_MAX_LANES
+        assert VectorBackend.max_lanes > CompiledBackend.max_lanes
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):

@@ -137,10 +137,20 @@ class TestErrorPaths:
         assert main(["run", "/nonexistent/prog.asm"]) == 2
         assert capsys.readouterr().err.startswith("error:")
 
-    def test_bad_backend_flag_exits_2(self):
-        with pytest.raises(SystemExit) as info:
-            main(["yield", "--backend", "quantum"])
-        assert info.value.code == 2
+    def test_bad_backend_flag_exits_2(self, capsys):
+        # Every --backend path rejects an unknown name the same way:
+        # one `error:` line on stderr, exit 2 -- no argparse usage
+        # dump, no traceback.
+        for argv in (
+            ["yield", "--backend", "quantum"],
+            ["dse", "--backend", "quantum"],
+            ["pareto", "--backend", "quantum"],
+            ["conform", "run", "--backend", "quantum"],
+        ):
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error: unknown backend")
+            assert "vector" in err  # the suggestion lists all three
 
     def test_closed_stdout_pipe_is_not_an_error(self):
         # `repro isa flexicore4 | head -1`: head closing the pipe

@@ -150,6 +150,11 @@ class TestOracleSmoke:
     def test_backend_lanes_agree(self):
         assert run_slice("backend", "flexicore4", 2) == []
 
+    def test_vector_lanes_agree(self):
+        # Seeded so at least one case draws a 60..96-site campaign,
+        # crossing the vector backend's 64-lane word boundary.
+        assert run_slice("vector", "flexicore4", 3) == []
+
     def test_cache_roundtrip_agrees(self):
         assert run_slice("cache", "flexicore8", 1) == []
 

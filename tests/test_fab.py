@@ -156,3 +156,94 @@ class TestYieldCalibration:
     def test_fc8_refined_process_draws_less(self, summaries):
         assert summaries["fc8"][4.5]["mean_current_ma"] < \
             summaries["fc4"][4.5]["mean_current_ma"]
+
+
+class TestGateLevelYield:
+    """Wafer-scale gate-level probing (one cross-check lane per die)."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self, fc4_netlist):
+        from repro.fab.process import process_for
+        from repro.fab.yield_model import gate_probe_wafer
+        from repro.isa import get_isa
+
+        rng = np.random.default_rng(11)
+        fabricated = fabricate_wafer(
+            fc4_netlist, process_for("flexicore4"), rng
+        )
+        probes, record = gate_probe_wafer(
+            fc4_netlist, get_isa("flexicore4"), fabricated, rng,
+            backend="vector", max_instructions=60,
+        )
+        return fc4_netlist, fabricated, probes, record
+
+    def test_defect_free_dies_pass(self, campaign):
+        _, _, _, record = campaign
+        for die in record["dies"]:
+            if die["defects"] == 0:
+                assert die["fault_sites"] == []
+                assert die["mismatches"] == 0
+
+    def test_sampled_dies_bit_identical_to_interpreted(self, campaign):
+        """Replaying a die's fault draw through the single-lane
+        interpreted reference reproduces the vector campaign's mismatch
+        count exactly -- the acceptance contract for the gate-level
+        yield study."""
+        from repro.fab.testing import directed_program
+        from repro.isa import get_isa
+        from repro.netlist.verify import run_cross_check_batch
+
+        netlist, _, _, record = campaign
+        isa = get_isa("flexicore4")
+        defective = [d for d in record["dies"] if d["fault_sites"]]
+        healthy = [d for d in record["dies"] if not d["fault_sites"]]
+        sampled = defective[:3] + healthy[:1]
+        assert len(sampled) >= 2
+        faults = [d["fault_sites"] or None for d in sampled]
+        replayed = run_cross_check_batch(
+            netlist, isa, directed_program(isa),
+            inputs=record["inputs"],
+            max_instructions=record["max_instructions"],
+            faults=faults, backend="interpreted",
+        )
+        for die, outcome in zip(sampled, replayed):
+            assert outcome.mismatches == die["mismatches"]
+
+    def test_gate_yield_bounded_below_by_analytic(self, campaign):
+        """The only way the gate-level verdict can differ from the
+        analytic model is a test escape (a defective die whose faults
+        the vectors never observe), so gate-level functional counts
+        dominate the analytic ones on the same wafer."""
+        _, fabricated, probes, _ = campaign
+        rng = np.random.default_rng(99)
+        for voltage, probe in probes.items():
+            analytic = fabricated.probe(voltage, rng)
+            gate_pass = sum(r.functional for r in probe.records)
+            analytic_pass = sum(r.functional for r in analytic.records)
+            assert gate_pass >= analytic_pass
+
+    def test_mismatching_die_fails_every_voltage(self, campaign):
+        _, _, probes, record = campaign
+        bad = [i for i, d in enumerate(record["dies"])
+               if d["mismatches"] > 0]
+        assert bad, "seeded wafer should have caught defects"
+        for probe in probes.values():
+            for index in bad:
+                assert not probe.records[index].functional
+
+    def test_study_runs_through_engine(self):
+        from repro.fab import run_gate_yield_study
+        from repro.fab.process import process_for
+
+        study = run_gate_yield_study(
+            process_for("flexicore4"), seed=5, wafers=2,
+        )
+        assert len(study["wafers"]) == 2
+        for voltage in (3.0, 4.5):
+            bucket = study["summary"][voltage]
+            assert 0.0 <= bucket["full"] <= bucket["inclusion"] <= 1.0
+        # Same seed, same study: the job graph is deterministic.
+        again = run_gate_yield_study(
+            process_for("flexicore4"), seed=5, wafers=2,
+        )
+        assert again["summary"] == study["summary"]

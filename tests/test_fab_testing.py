@@ -5,6 +5,7 @@ import pytest
 
 from repro.fab.testing import (
     directed_program,
+    fault_chunk_size,
     fault_injection_study,
     random_program,
     toggle_coverage_study,
@@ -77,6 +78,32 @@ class TestFaultDetection:
             fc4, get_isa("flexicore4"), rng, faults=0
         )
         assert study.coverage == 0.0
+
+    def test_chunks_sized_from_backend_capacity(self):
+        # Campaigns chunk by the *selected* backend's lane capacity,
+        # not a hardcoded word width: a 1000-fault campaign is 16
+        # compiled chunks but a single vector run.
+        from repro.netlist.backend import (
+            VECTOR_MAX_LANES,
+            WORD_LANES,
+        )
+
+        assert fault_chunk_size("compiled") == WORD_LANES
+        assert fault_chunk_size("interpreted") == 1
+        assert fault_chunk_size("vector") == VECTOR_MAX_LANES
+        assert fault_chunk_size(None) == fault_chunk_size("compiled")
+
+    def test_same_verdicts_on_every_backend(self, fc4):
+        verdicts = {}
+        for backend in ("interpreted", "compiled", "vector"):
+            study = fault_injection_study(
+                fc4, get_isa("flexicore4"),
+                np.random.default_rng(5), faults=8,
+                max_instructions=80, backend=backend,
+            )
+            verdicts[backend] = study.details
+        assert verdicts["compiled"] == verdicts["interpreted"]
+        assert verdicts["vector"] == verdicts["interpreted"]
 
 
 class TestToggleCoverage:
