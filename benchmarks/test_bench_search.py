@@ -1,0 +1,145 @@
+"""Adaptive DSE search benchmark.
+
+Two acceptance properties over the same seeded space:
+
+- **Search vs exhaustive**: the adaptive search's frontier weakly
+  dominates the exhaustive grid's frontier on (area, yield-adjusted
+  cost, energy) while spending at most 25% of the grid's evaluations.
+- **Warm cache**: repeating the identical search against the same
+  result cache answers at least 90% of its evaluations as cache hits.
+
+Both runs score through the same engine jobs, so the exhaustive grid
+scored after the search already reuses every design the search
+touched.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI): a tiny
+single-fidelity space and budget -- it checks the loop runs, stays
+deterministic, and re-warms from cache, not the 25% evaluation ratio
+(a handful-sized space cannot show it).  Run locally with
+``pytest benchmarks/test_bench_search.py -s`` for the full report.
+
+Set ``REPRO_BENCH_SEARCH_JSON=<path>`` to emit a machine-readable
+``BENCH_SEARCH.json`` summary (CI uploads it with the obs artifacts).
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import print_result
+from repro.dse.search import (
+    SearchConfig,
+    exhaustive,
+    format_search_frontier,
+    frontier_of,
+    search,
+    weakly_dominates,
+)
+from repro.dse.space import DesignSpace
+from repro.engine import Engine
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: The benchmark space: every cheap-to-moderate feature gate crossed
+#: with the single- and multi-cycle microarchitectures (130 genomes).
+#: Smoke trims it to a 9-point space a CI shard scores in ~1 s.
+SPACE = DesignSpace(
+    operand_models=("acc", "ls"),
+    microarchs=("SC",) if SMOKE else ("SC", "MC"),
+    features=("adc", "shift", "flags") if SMOKE
+    else ("adc", "shift", "flags", "mult", "xchg", "subr"),
+    bus_bits=(0,),
+)
+BUDGET = 7 if SMOKE else 32
+SEED = 2022
+MAX_EVAL_RATIO = 0.25
+MIN_WARM_HIT_RATIO = 0.9
+
+
+def _config():
+    if SMOKE:
+        # Single fidelity: a 7-evaluation budget has no room for a
+        # screen-then-promote ladder.
+        return SearchConfig(budget=BUDGET, seed=SEED, population=6,
+                            space=SPACE, screen_transactions=12,
+                            screen_wafers=5)
+    return SearchConfig(budget=BUDGET, seed=SEED, population=12,
+                        space=SPACE)
+
+
+class TestSearchVsExhaustive:
+    def test_search_dominates_grid_at_quarter_cost(self, tmp_path):
+        """Acceptance: the searched frontier covers the exhaustive
+        frontier at <= 25% of the grid's evaluations."""
+        config = _config()
+        engine = Engine(jobs=4, cache=tmp_path)
+
+        started = time.perf_counter()
+        result = search(config, engine=engine)
+        search_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        grid_scores = exhaustive(space=SPACE, config=config,
+                                 engine=engine)
+        grid_s = time.perf_counter() - started
+        grid = frontier_of(grid_scores, config.objectives)
+
+        searched = [entry.values for entry in result.frontier]
+        missing = [
+            name for name, values in grid
+            if not any(weakly_dominates(found, values)
+                       for found in searched)
+        ]
+        ratio = result.evaluations / len(grid_scores)
+
+        assert not missing, (
+            f"grid frontier points not dominated: {missing}"
+        )
+        if not SMOKE:
+            assert ratio <= MAX_EVAL_RATIO, (
+                f"search spent {result.evaluations} evaluations, "
+                f"{ratio:.0%} of the {len(grid_scores)}-point grid"
+            )
+
+        # -- warm repeat: the same search replays from the cache.
+        warm = search(config, engine=Engine(jobs=4, cache=tmp_path))
+        assert warm.frontier_names() == result.frontier_names()
+        hit_ratio = warm.cache_hits / warm.evaluations
+        assert hit_ratio >= MIN_WARM_HIT_RATIO, (
+            f"warm search answered only {hit_ratio:.0%} from cache"
+        )
+
+        payload = {
+            "space_size": result.space_size,
+            "budget": BUDGET,
+            "seed": SEED,
+            "objectives": list(config.objectives),
+            "evaluations": result.evaluations,
+            "generations": result.generations,
+            "grid_evaluations": len(grid_scores),
+            "eval_ratio": ratio,
+            "max_eval_ratio": MAX_EVAL_RATIO,
+            "search_s": search_s,
+            "exhaustive_s": grid_s,
+            "frontier": result.frontier_names(),
+            "grid_frontier": [name for name, _ in grid],
+            "warm_cache_hit_ratio": hit_ratio,
+            "min_warm_hit_ratio": MIN_WARM_HIT_RATIO,
+            "smoke": SMOKE,
+        }
+        artifact = os.environ.get("REPRO_BENCH_SEARCH_JSON")
+        if artifact:
+            with open(artifact, "w") as handle:
+                json.dump(payload, handle, indent=2)
+        print_result(
+            f"Adaptive DSE search vs the exhaustive grid "
+            f"({result.space_size}-point space, budget {BUDGET})",
+            format_search_frontier(result) + "\n"
+            f"grid     {len(grid_scores):4d} evaluations in "
+            f"{grid_s:6.1f} s\n"
+            f"search   {result.evaluations:4d} evaluations in "
+            f"{search_s:6.1f} s ({ratio:.0%} of the grid"
+            f"{', smoke: ratio unchecked' if SMOKE else ''})\n"
+            f"warm     {hit_ratio:.0%} of the repeat answered "
+            f"from cache",
+        )

@@ -365,6 +365,50 @@ def cmd_dse(args):
     return 0
 
 
+def cmd_dse_search(args):
+    from repro.dse.search import SearchConfig, format_search_frontier, search
+    from repro.dse.space import DesignSpace
+
+    engine = _configure_engine(args)
+    _configure_backend(args)
+    space_kwargs = {}
+    if args.features is not None:
+        space_kwargs["features"] = tuple(
+            token for token in args.features.split(",") if token
+        )
+    if args.microarchs is not None:
+        space_kwargs["microarchs"] = tuple(
+            token.upper() for token in args.microarchs.split(",") if token
+        )
+    if args.models is not None:
+        space_kwargs["operand_models"] = tuple(
+            token for token in args.models.split(",") if token
+        )
+    if args.bus is not None:
+        space_kwargs["bus_bits"] = tuple(
+            int(token) for token in args.bus.split(",") if token
+        )
+    config = SearchConfig(
+        budget=args.budget,
+        seed=args.seed,
+        objectives=tuple(args.objectives.split(",")),
+        population=args.population,
+        space=DesignSpace(**space_kwargs),
+    )
+    result = search(config, engine=engine)
+    print(f"Adaptive DSE search (budget {config.budget}, "
+          f"seed {config.seed}, objectives "
+          f"{'/'.join(config.objectives)})")
+    print(format_search_frontier(result))
+    if args.trail:
+        result.write_trail(args.trail)
+        print(f"trail: {args.trail} ({len(result.trail)} evaluations)",
+              file=sys.stderr)
+    if args.engine_verbose:
+        print(engine.metrics.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_floorplan(args):
     from repro.netlist.cores import build_flexicore4, build_flexicore8
     from repro.netlist.dse_cores import build_extended_core
@@ -973,6 +1017,53 @@ def build_parser():
     _add_engine_arguments(p)
     _add_obs_arguments(p)
     p.set_defaults(fn=cmd_dse)
+    dsub = p.add_subparsers(dest="dse_cmd")
+    d = dsub.add_parser(
+        "search",
+        help="adaptive multi-objective search over the parametric space",
+    )
+    d.add_argument(
+        "--budget", type=_positive_int, default=48, metavar="N",
+        help="scoring-job budget, any fidelity (default 48)",
+    )
+    d.add_argument(
+        "--seed", type=int, default=2022,
+        help="search + scoring seed; fixed (budget, seed) is "
+             "deterministic (default 2022)",
+    )
+    d.add_argument(
+        "--objectives", default="area,cost,energy",
+        help="comma-separated lower-is-better objectives from "
+             "area/cost/energy/code (default area,cost,energy)",
+    )
+    d.add_argument(
+        "--population", type=_positive_int, default=16, metavar="N",
+        help="NSGA-II population size (default 16)",
+    )
+    d.add_argument(
+        "--features", default=None, metavar="F1,F2",
+        help="restrict the feature-gate axis (default: all gates)",
+    )
+    d.add_argument(
+        "--microarchs", default=None, metavar="SC,P,MC",
+        help="restrict the microarchitecture axis (default: SC,P,MC)",
+    )
+    d.add_argument(
+        "--models", default=None, metavar="acc,ls",
+        help="restrict the operand-model axis (default: acc,ls)",
+    )
+    d.add_argument(
+        "--bus", default=None, metavar="0,8",
+        help="program-bus widths to search; 0 = natural (default: 0,8)",
+    )
+    d.add_argument(
+        "--trail", default=None, metavar="PATH",
+        help="write the per-evaluation JSONL trail here",
+    )
+    _add_backend_argument(d)
+    _add_engine_arguments(d)
+    _add_obs_arguments(d)
+    d.set_defaults(fn=cmd_dse_search)
 
     p = sub.add_parser("isa", help="print an ISA reference table")
     p.add_argument("name", help="e.g. flexicore4, extacc, loadstore")

@@ -26,11 +26,25 @@ from repro.dse.features import (
     feature_sweep,
     revised_isa_report,
 )
+from repro.dse.search import (
+    ScoredDesign,
+    SearchConfig,
+    SearchResult,
+    exhaustive,
+    format_search_frontier,
+    frontier_of,
+    score_design_job,
+    search,
+)
+from repro.dse.space import DesignSpace, Genome
 
 __all__ = [
     "ACC_MC", "ACC_P", "ACC_SC", "ALL_DESIGNS", "BASELINE",
-    "DSE_DESIGNS", "DesignMetrics", "DesignPoint", "FEATURE_LABELS",
-    "FeatureReport", "KernelMetrics", "LS_MC", "LS_P", "LS_SC",
-    "evaluate_all", "evaluate_design", "evaluate_design_job",
-    "feature_sweep", "period_units", "revised_isa_report",
+    "DSE_DESIGNS", "DesignMetrics", "DesignPoint", "DesignSpace",
+    "FEATURE_LABELS", "FeatureReport", "Genome", "KernelMetrics",
+    "LS_MC", "LS_P", "LS_SC", "ScoredDesign", "SearchConfig",
+    "SearchResult", "evaluate_all", "evaluate_design",
+    "evaluate_design_job", "exhaustive", "feature_sweep",
+    "format_search_frontier", "frontier_of", "period_units",
+    "revised_isa_report", "score_design_job", "search",
 ]

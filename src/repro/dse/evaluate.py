@@ -314,6 +314,18 @@ def evaluate_all(designs=ALL_DESIGNS, transactions=12, seed=2022,
     cached sweeps stay valid (both simulator paths are bit-identical,
     so the cached value is too).
     """
+    designs = list(designs)
+    seen = {}
+    for design in designs:
+        seen.setdefault(design.name, []).append(design)
+    duplicates = sorted(name for name, hits in seen.items()
+                        if len(hits) > 1)
+    if duplicates:
+        raise ValueError(
+            f"duplicate design name(s) {duplicates}: the result keys "
+            "by name, so duplicates would silently collapse; rename "
+            "the conflicting DesignPoints"
+        )
     eng = engine_or_default(engine)
     nodes = [
         eng.submit(Job(

@@ -41,7 +41,9 @@ def pareto_frontier(points):
     """``points``: {name: tuple of lower-is-better values}.
 
     Returns the non-dominated points, each annotated with the designs it
-    dominates, sorted by the first metric.
+    dominates, sorted by (values, name) so ties on the first metric
+    still order deterministically.  Duplicate value tuples survive
+    together: neither strictly dominates the other.
     """
     frontier = []
     for name, values in points.items():
@@ -55,21 +57,34 @@ def pareto_frontier(points):
         ))
         frontier.append(ParetoPoint(name=name, values=values,
                                     dominates=beaten))
-    return sorted(frontier, key=lambda point: point.values[0])
+    return sorted(frontier, key=lambda point: (point.values, point.name))
 
 
 def explore(metrics=("area", "energy"), designs=ALL_DESIGNS,
-            bus_bits=None, transactions=12, feasible_only=True):
+            bus_bits=None, transactions=12, feasible_only=True,
+            baseline=BASELINE.name):
     """Evaluate ``designs`` and return the Pareto frontier over
-    ``metrics`` (names from :data:`METRICS`)."""
+    ``metrics`` (names from :data:`METRICS`).
+
+    Every metric is normalized against ``baseline`` (a design name
+    that must be present in ``designs``); the baseline is selected
+    *before* ``feasible_only`` filtering, so an infeasible baseline
+    still anchors the relative metrics even though it is excluded
+    from the frontier itself.
+    """
     unknown = set(metrics) - set(METRICS)
     if unknown:
         raise KeyError(f"unknown metrics {sorted(unknown)}; "
                        f"choose from {sorted(METRICS)}")
     results = evaluate_all(designs, transactions=transactions,
                            bus_bits=bus_bits)
-    base = results[BASELINE.name] if BASELINE.name in results \
-        else next(iter(results.values()))
+    if baseline not in results:
+        raise ValueError(
+            f"baseline design {baseline!r} is not among the evaluated "
+            f"designs {sorted(results)}; pass baseline= to pick the "
+            "design the relative metrics normalize against"
+        )
+    base = results[baseline]
     points = {}
     for name, metric_values in results.items():
         if feasible_only and not all(
@@ -83,17 +98,24 @@ def explore(metrics=("area", "energy"), designs=ALL_DESIGNS,
 
 
 def format_frontier(frontier, points, metrics):
-    header = f"{'design':<12}" + "".join(f"{m:>9}" for m in metrics) \
+    # Size the design column to the longest name (plus the frontier
+    # marker and a separating space) so long names never fuse with
+    # the first metric cell.
+    width = max(
+        [len("design")] + [len(name) + 1 for name in points]
+    ) + 2
+    header = f"{'design':<{width}}" + "".join(f"{m:>9}" for m in metrics) \
         + "  dominates"
     lines = [header]
     frontier_names = {point.name for point in frontier}
-    for name, values in sorted(points.items(), key=lambda kv: kv[1][0]):
+    for name, values in sorted(points.items(),
+                               key=lambda kv: (kv[1], kv[0])):
         marker = "*" if name in frontier_names else " "
         cells = "".join(f"{value:9.2f}" for value in values)
         beaten = ""
         for point in frontier:
             if point.name == name and point.dominates:
                 beaten = ", ".join(point.dominates)
-        lines.append(f"{marker}{name:<11}{cells}  {beaten}")
+        lines.append(f"{marker}{name:<{width - 1}}{cells}  {beaten}")
     lines.append("(* = Pareto-optimal)")
     return "\n".join(lines)

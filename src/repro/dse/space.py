@@ -1,0 +1,299 @@
+"""The parametric design space behind the adaptive DSE search.
+
+The paper explores seven hand-picked cores (Figures 11-13) plus a
+one-feature-at-a-time sweep (Figures 9-10).  The full space those
+figures sample is much larger: every subset of the Section 6.1 feature
+gates, crossed with the operand model, the microarchitecture, and the
+program-bus width of Figure 13.  This module makes that space a
+first-class object:
+
+- :class:`Genome` -- one candidate's coordinates on every axis, in a
+  canonical (hashable, JSON-friendly) form;
+- :class:`DesignSpace` -- the axes themselves, with deterministic
+  enumeration, membership tests, random sampling, and the
+  mutation/crossover moves the NSGA-II loop in
+  :mod:`repro.dse.search` uses;
+- :meth:`DesignSpace.anchors` -- the paper's own grid (base core,
+  the Figure 9 single-feature points, the revised full-feature set,
+  the load-store machines) as warm-start seeds for the search.
+
+A genome materializes into a :class:`~repro.dse.designs.DesignPoint`
+whose netlist comes from the parametric builders in
+:mod:`repro.netlist.dse_cores` and whose kernels assemble against the
+matching ``extacc[...]`` / ``loadstore`` ISA.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.isa.extended import FULL_FEATURES
+from repro.netlist.dse_cores import DSE_FEATURES
+from repro.sim.timing import MicroArch
+
+#: Axis values understood by the generator.
+OPERAND_MODELS = ("acc", "ls")
+MICROARCHS = ("SC", "P", "MC")
+#: Program-bus widths; 0 means "natural" (wide enough to fetch one
+#: instruction per cycle), 8 is the Figure 13 "(Bus)" restriction.
+BUS_CHOICES = (0, 8)
+
+
+@dataclass(frozen=True)
+class Genome:
+    """One candidate's coordinates: operand model x microarchitecture x
+    feature-gate subset x program-bus width.
+
+    Canonical form: ``features`` is a sorted tuple and is empty for the
+    load-store model (its netlist builder takes no feature gates), so
+    two genomes describing the same hardware always compare equal.
+    """
+
+    operand_model: str              # 'acc' | 'ls'
+    microarch: str                  # 'SC' | 'P' | 'MC'
+    features: Tuple[str, ...] = ()  # sorted feature gates ('acc' only)
+    bus_bits: int = 0               # 0 = natural width
+
+    def __post_init__(self):
+        feats = () if self.operand_model == "ls" \
+            else tuple(sorted(set(self.features)))
+        object.__setattr__(self, "features", feats)
+
+    @property
+    def key(self):
+        """Canonical display/dedup name, e.g. ``acc-sc[adc+shift]@bus8``."""
+        tag = "+".join(self.features) if self.features else "base"
+        name = f"{self.operand_model}-{self.microarch.lower()}"
+        if self.operand_model == "acc":
+            name += f"[{tag}]"
+        if self.bus_bits:
+            name += f"@bus{self.bus_bits}"
+        return name
+
+    @property
+    def isa_name(self):
+        if self.operand_model == "ls":
+            return "loadstore"
+        tag = "+".join(self.features) if self.features else "base"
+        return f"extacc[{tag}]"
+
+    def design(self):
+        """The :class:`~repro.dse.designs.DesignPoint` this genome names."""
+        from repro.dse.designs import DesignPoint
+
+        return DesignPoint(
+            name=self.key,
+            operand_model=self.operand_model,
+            microarch=MicroArch(self.microarch),
+            features=frozenset(self.features),
+            isa_name=self.isa_name,
+        )
+
+    def to_doc(self):
+        """JSON-ready record (the search trail / service documents)."""
+        return {
+            "operand_model": self.operand_model,
+            "microarch": self.microarch,
+            "features": list(self.features),
+            "bus_bits": self.bus_bits,
+        }
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The searchable axes.  Defaults cover the whole extended space:
+    both operand models, all three microarchitectures, every Section 6.1
+    feature gate, and the natural / 8-bit program buses."""
+
+    operand_models: Tuple[str, ...] = OPERAND_MODELS
+    microarchs: Tuple[str, ...] = MICROARCHS
+    features: Tuple[str, ...] = DSE_FEATURES
+    bus_bits: Tuple[int, ...] = BUS_CHOICES
+
+    def __post_init__(self):
+        object.__setattr__(self, "operand_models",
+                           tuple(self.operand_models))
+        object.__setattr__(self, "microarchs", tuple(self.microarchs))
+        object.__setattr__(self, "features", tuple(self.features))
+        object.__setattr__(self, "bus_bits",
+                           tuple(int(b) for b in self.bus_bits))
+        unknown = set(self.operand_models) - set(OPERAND_MODELS)
+        if unknown:
+            raise ValueError(f"unknown operand model(s) {sorted(unknown)}; "
+                             f"choose from {list(OPERAND_MODELS)}")
+        unknown = set(self.microarchs) - set(MICROARCHS)
+        if unknown:
+            raise ValueError(f"unknown microarch(s) {sorted(unknown)}; "
+                             f"choose from {list(MICROARCHS)}")
+        unknown = set(self.features) - set(DSE_FEATURES)
+        if unknown:
+            raise ValueError(f"unknown feature gate(s) {sorted(unknown)}; "
+                             f"choose from {list(DSE_FEATURES)}")
+        if any(b < 0 for b in self.bus_bits):
+            raise ValueError("bus widths must be >= 0 (0 = natural)")
+        if not (self.operand_models and self.microarchs and self.bus_bits):
+            raise ValueError("every axis needs at least one value")
+
+    def size(self):
+        """Number of distinct genomes in the space."""
+        per_model = 0
+        if "acc" in self.operand_models:
+            per_model += 2 ** len(self.features)
+        if "ls" in self.operand_models:
+            per_model += 1
+        return per_model * len(self.microarchs) * len(self.bus_bits)
+
+    def enumerate(self):
+        """Every genome, in a deterministic (binary-counting) order."""
+        out = []
+        for model in self.operand_models:
+            subsets = [()] if model == "ls" else [
+                tuple(f for bit, f in enumerate(self.features)
+                      if mask >> bit & 1)
+                for mask in range(2 ** len(self.features))
+            ]
+            for microarch in self.microarchs:
+                for bus in self.bus_bits:
+                    for subset in subsets:
+                        out.append(Genome(model, microarch, subset, bus))
+        return out
+
+    def __contains__(self, genome):
+        if genome.operand_model not in self.operand_models:
+            return False
+        if genome.microarch not in self.microarchs:
+            return False
+        if genome.bus_bits not in self.bus_bits:
+            return False
+        return set(genome.features) <= set(self.features)
+
+    # -- sampling and variation -----------------------------------------
+
+    def _random_features(self, rng, model):
+        if model == "ls" or not self.features:
+            return ()
+        mask = rng.integers(0, 2, size=len(self.features))
+        return tuple(f for bit, f in zip(mask, self.features) if bit)
+
+    def random(self, rng):
+        """One uniform-ish random genome."""
+        model = str(rng.choice(self.operand_models))
+        return Genome(
+            model,
+            str(rng.choice(self.microarchs)),
+            self._random_features(rng, model),
+            int(rng.choice(self.bus_bits)),
+        )
+
+    def mutate(self, genome, rng, attempts=8):
+        """A single random move: toggle one feature gate, or switch the
+        microarchitecture, bus width, or operand model.  Retries a few
+        times so the result differs from the input when the space has
+        more than one point."""
+        for _ in range(attempts):
+            moves = []
+            if genome.operand_model == "acc" and self.features:
+                moves.append("feature")
+            if len(self.microarchs) > 1:
+                moves.append("microarch")
+            if len(self.bus_bits) > 1:
+                moves.append("bus")
+            if len(self.operand_models) > 1:
+                moves.append("model")
+            if not moves:
+                return genome
+            move = str(rng.choice(moves))
+            if move == "feature":
+                flip = str(rng.choice(self.features))
+                feats = set(genome.features) ^ {flip}
+                child = Genome(genome.operand_model, genome.microarch,
+                               tuple(sorted(feats)), genome.bus_bits)
+            elif move == "microarch":
+                child = Genome(genome.operand_model,
+                               str(rng.choice(self.microarchs)),
+                               genome.features, genome.bus_bits)
+            elif move == "bus":
+                child = Genome(genome.operand_model, genome.microarch,
+                               genome.features,
+                               int(rng.choice(self.bus_bits)))
+            else:
+                model = str(rng.choice(self.operand_models))
+                child = Genome(model, genome.microarch,
+                               self._random_features(rng, model),
+                               genome.bus_bits)
+            if child != genome:
+                return child
+        return genome
+
+    def neighbors(self, genome):
+        """Every single-move variant of ``genome`` inside this space,
+        in a deterministic order: each feature gate toggled, each other
+        microarchitecture, each other bus width, and the operand-model
+        switch (to the base accumulator core when coming from
+        load-store).  The Pareto local-search phase of
+        :func:`repro.dse.search.search` walks these."""
+        out = []
+
+        def add(child):
+            if child != genome and child in self and child not in out:
+                out.append(child)
+
+        if genome.operand_model == "acc":
+            for feature in self.features:
+                feats = set(genome.features) ^ {feature}
+                add(Genome(genome.operand_model, genome.microarch,
+                           tuple(sorted(feats)), genome.bus_bits))
+        for microarch in self.microarchs:
+            add(Genome(genome.operand_model, microarch,
+                       genome.features, genome.bus_bits))
+        for bus in self.bus_bits:
+            add(Genome(genome.operand_model, genome.microarch,
+                       genome.features, bus))
+        for model in self.operand_models:
+            if model != genome.operand_model:
+                add(Genome(model, genome.microarch, (), genome.bus_bits))
+        return out
+
+    def crossover(self, a, b, rng):
+        """Uniform crossover: each axis (and each feature gate) comes
+        from either parent."""
+        model = a.operand_model if rng.integers(0, 2) else b.operand_model
+        feats = []
+        for feature in self.features:
+            parent = a if rng.integers(0, 2) else b
+            if feature in parent.features:
+                feats.append(feature)
+        return Genome(
+            model,
+            a.microarch if rng.integers(0, 2) else b.microarch,
+            tuple(feats),
+            a.bus_bits if rng.integers(0, 2) else b.bus_bits,
+        )
+
+    def anchors(self):
+        """The paper's own design grid, restricted to this space --
+        warm-start seeds so the search begins from the Figure 9-13
+        points rather than from noise.
+
+        Base core, each single-feature point (Figure 9), and the
+        revised full-feature set on the first microarch/bus; the
+        full-feature set and the load-store machine across the other
+        microarchitectures (Figures 11-12).
+        """
+        out = []
+
+        def add(genome):
+            if genome in self and genome not in out:
+                out.append(genome)
+
+        m0, b0 = self.microarchs[0], self.bus_bits[0]
+        if "acc" in self.operand_models:
+            add(Genome("acc", m0, (), b0))
+            for feature in self.features:
+                add(Genome("acc", m0, (feature,), b0))
+            full = tuple(sorted(set(self.features) & FULL_FEATURES))
+            for microarch in self.microarchs:
+                add(Genome("acc", microarch, full, b0))
+        if "ls" in self.operand_models:
+            for microarch in self.microarchs:
+                add(Genome("ls", microarch, (), b0))
+        return out

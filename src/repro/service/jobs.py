@@ -23,6 +23,7 @@ The registry is open: :func:`register_job_type` adds new types at
 runtime (tests register a ``sleep`` type to exercise queue behavior).
 """
 
+import json
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -438,6 +439,44 @@ def _run_dse_sweep(params, ctx):
                      "\n".join(lines) + "\n")]
 
 
+def _run_dse_search(params, ctx):
+    from repro.dse.search import (
+        SearchConfig,
+        format_search_frontier,
+        search,
+    )
+    from repro.dse.space import DesignSpace
+
+    space_kwargs = {}
+    if params["features"]:
+        space_kwargs["features"] = tuple(params["features"])
+    if params["microarchs"]:
+        space_kwargs["microarchs"] = tuple(params["microarchs"])
+    if params["models"]:
+        space_kwargs["operand_models"] = tuple(params["models"])
+    if params["bus"]:
+        space_kwargs["bus_bits"] = tuple(params["bus"])
+    try:
+        config = SearchConfig(
+            budget=params["budget"],
+            seed=params["seed"],
+            objectives=tuple(params["objectives"]),
+            population=params["population"],
+            space=DesignSpace(**space_kwargs),
+        )
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from None
+    result = search(config, engine=ctx.engine())
+    trail = "\n".join(
+        json.dumps(record, sort_keys=True) for record in result.trail
+    )
+    return result.to_doc(), [
+        ("dse_search.txt", "text/plain; charset=utf-8",
+         format_search_frontier(result) + "\n"),
+        ("dse_search_trail.jsonl", "application/jsonl", trail + "\n"),
+    ]
+
+
 def _run_conformance(params, ctx):
     from repro.conformance import run_campaign
 
@@ -572,6 +611,29 @@ register_job_type(
         "gate_check": Field(bool, default=False),
     },
     _run_dse_sweep,
+)
+
+register_job_type(
+    "dse_search",
+    "Adaptive multi-objective search over the parametric design space",
+    {
+        "budget": Field(int, default=48, minimum=2, maximum=1024,
+                        doc="scoring-job budget (any fidelity)"),
+        "seed": Field(int, default=2022, minimum=0),
+        "objectives": Field(list, default=["area", "cost", "energy"],
+                            doc="lower-is-better objectives from "
+                                "area/cost/energy/code"),
+        "population": Field(int, default=16, minimum=2, maximum=128),
+        "features": Field(list, default=[],
+                          doc="feature-gate axis ([] = all gates)"),
+        "microarchs": Field(list, default=[],
+                            doc="microarch axis ([] = SC,P,MC)"),
+        "models": Field(list, default=[],
+                        doc="operand-model axis ([] = acc,ls)"),
+        "bus": Field(list, default=[],
+                     doc="program-bus widths; 0 = natural ([] = 0,8)"),
+    },
+    _run_dse_search,
 )
 
 register_job_type(
